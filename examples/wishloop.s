@@ -1,0 +1,33 @@
+; A hand-written wish loop (paper Figure 4b), runnable with:
+;
+;     ./build/src/harness/wisc-run --asm examples/wishloop.s --stats
+;
+; The inner loop runs a data-dependent 1..8 iterations. The wish loop
+; hint lets the hardware fetch over-run iterations as predicated NOPs
+; instead of flushing on every loop-exit misprediction.
+
+        li r4, 0            ; checksum
+        li r10, 0           ; outer counter
+        li r14, 9001        ; rng state
+
+outer:
+        muli r14, r14, 1103515245
+        addi r14, r14, 12345
+        shri r20, r14, 16
+        andi r20, r20, 7
+        addi r20, r20, 1    ; trip count 1..8
+
+        ; --- wish loop (Figure 4b) ---
+        pset p1, 1          ; loop predicate initialized TRUE
+        li r21, 0
+loop:
+        (p1) add r4, r4, r21
+        (p1) addi r21, r21, 1
+        (p1) cmp.lt p1, p0, r21, r20
+        wish.loop p1, loop
+        ; --- loop exit ---
+
+        addi r10, r10, 1
+        cmpi.lt p2, p0, r10, 20000
+        br p2, outer
+        halt

@@ -1,0 +1,78 @@
+#include "arch/emulator.hh"
+
+#include "arch/executor.hh"
+#include "common/log.hh"
+
+namespace wisc {
+
+double
+Profile::takenProb(std::uint32_t idx) const
+{
+    if (idx >= perInst.size() || perInst[idx].execCount == 0)
+        return 0.5;
+    return static_cast<double>(perInst[idx].takenCount) /
+           static_cast<double>(perInst[idx].execCount);
+}
+
+double
+Profile::mispredictEstimate(std::uint32_t idx) const
+{
+    double p = takenProb(idx);
+    return p < 1.0 - p ? p : 1.0 - p;
+}
+
+EmuResult
+Emulator::run(const Program &prog, Profile *profile,
+              std::uint64_t maxSteps)
+{
+    prog.validate();
+
+    state_.reset();
+    state_.loadData(prog);
+
+    if (profile) {
+        profile->perInst.assign(prog.size(), InstProfile{});
+        profile->dynInsts = 0;
+    }
+
+    EmuResult res;
+    std::uint32_t pc = prog.entry();
+    const auto code_size = static_cast<std::uint32_t>(prog.size());
+
+    while (res.dynInsts < maxSteps) {
+        wisc_assert(pc < code_size, "pc ", pc, " escaped the program");
+        const Instruction &inst = prog.code()[pc];
+        StepResult step = executeInst(inst, pc, code_size, state_, nullptr);
+        wisc_assert(!step.badTarget,
+                    "indirect branch to a bad target on the correct path "
+                    "at instruction ", pc);
+
+        ++res.dynInsts;
+        if (!step.qpTrue)
+            ++res.predFalse;
+
+        if (profile) {
+            InstProfile &p = profile->perInst[pc];
+            ++p.execCount;
+            if (step.qpTrue)
+                ++p.qpTrueCount;
+            if (inst.op == Opcode::Br && step.taken)
+                ++p.takenCount;
+        }
+
+        if (step.halted) {
+            res.halted = true;
+            break;
+        }
+        pc = step.nextIndex;
+    }
+
+    if (profile)
+        profile->dynInsts = res.dynInsts;
+
+    res.resultReg = state_.readReg(4);
+    res.memFingerprint = state_.mem().fingerprint();
+    return res;
+}
+
+} // namespace wisc

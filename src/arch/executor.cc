@@ -1,0 +1,246 @@
+#include "arch/executor.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+namespace {
+
+/** Two's-complement wrapping arithmetic without signed-overflow UB. */
+Word
+wrapAdd(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) + static_cast<UWord>(b));
+}
+
+Word
+wrapSub(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) - static_cast<UWord>(b));
+}
+
+Word
+wrapMul(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) * static_cast<UWord>(b));
+}
+
+/** Division: by-zero yields 0, overflow (MIN / -1) yields MIN. */
+Word
+safeDiv(Word a, Word b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<Word>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+Word
+safeRem(Word a, Word b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<Word>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace
+
+StepResult
+executeInst(const Instruction &inst, std::uint32_t index,
+            std::uint32_t codeSize, ArchState &state, UndoLog *undo)
+{
+    StepResult res;
+    res.nextIndex = index + 1;
+    res.qpTrue = state.readPred(inst.qp);
+
+    // A FALSE qualifying predicate nullifies the instruction: no register,
+    // predicate, or memory write, and branches fall through. The single
+    // exception is an unconditional compare (IA-64 cmp.unc semantics),
+    // which clears both predicate destinations when nullified.
+    if (!res.qpTrue) {
+        if (inst.unc && inst.writesPred()) {
+            if (inst.pd != kPredNone) {
+                if (undo)
+                    undo->recordPred(inst.pd, state.readPred(inst.pd));
+                state.writePred(inst.pd, false);
+            }
+            if (inst.pd2 != kPredNone) {
+                if (undo)
+                    undo->recordPred(inst.pd2, state.readPred(inst.pd2));
+                state.writePred(inst.pd2, false);
+            }
+        }
+        return res;
+    }
+
+    auto writeReg = [&](RegIdx r, Word v) {
+        if (undo && r != kRegZero)
+            undo->recordReg(r, state.readReg(r));
+        state.writeReg(r, v);
+    };
+    auto writePred = [&](PredIdx p, bool v) {
+        if (p == kPredNone)
+            return;
+        if (undo)
+            undo->recordPred(p, state.readPred(p));
+        state.writePred(p, v);
+    };
+    auto writeCmp = [&](bool cond) {
+        writePred(inst.pd, cond);
+        writePred(inst.pd2, !cond);
+    };
+
+    const Word a = state.readReg(inst.rs1);
+    const Word b = state.readReg(inst.rs2);
+    const Word im = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::Add:  writeReg(inst.rd, wrapAdd(a, b)); break;
+      case Opcode::Sub:  writeReg(inst.rd, wrapSub(a, b)); break;
+      case Opcode::And:  writeReg(inst.rd, a & b); break;
+      case Opcode::Or:   writeReg(inst.rd, a | b); break;
+      case Opcode::Xor:  writeReg(inst.rd, a ^ b); break;
+      case Opcode::Shl:
+        writeReg(inst.rd, static_cast<Word>(static_cast<UWord>(a)
+                                            << (b & 63)));
+        break;
+      case Opcode::Shr:
+        writeReg(inst.rd, static_cast<Word>(static_cast<UWord>(a)
+                                            >> (b & 63)));
+        break;
+      case Opcode::Sra:  writeReg(inst.rd, a >> (b & 63)); break;
+      case Opcode::Mul:  writeReg(inst.rd, wrapMul(a, b)); break;
+      case Opcode::Div:  writeReg(inst.rd, safeDiv(a, b)); break;
+      case Opcode::Rem:  writeReg(inst.rd, safeRem(a, b)); break;
+
+      case Opcode::AddI: writeReg(inst.rd, wrapAdd(a, im)); break;
+      case Opcode::AndI: writeReg(inst.rd, a & im); break;
+      case Opcode::OrI:  writeReg(inst.rd, a | im); break;
+      case Opcode::XorI: writeReg(inst.rd, a ^ im); break;
+      case Opcode::ShlI:
+        writeReg(inst.rd, static_cast<Word>(static_cast<UWord>(a)
+                                            << (im & 63)));
+        break;
+      case Opcode::ShrI:
+        writeReg(inst.rd, static_cast<Word>(static_cast<UWord>(a)
+                                            >> (im & 63)));
+        break;
+      case Opcode::SraI: writeReg(inst.rd, a >> (im & 63)); break;
+      case Opcode::MulI: writeReg(inst.rd, wrapMul(a, im)); break;
+      case Opcode::Li:   writeReg(inst.rd, im); break;
+
+      case Opcode::CmpEq:  writeCmp(a == b); break;
+      case Opcode::CmpNe:  writeCmp(a != b); break;
+      case Opcode::CmpLt:  writeCmp(a < b); break;
+      case Opcode::CmpLe:  writeCmp(a <= b); break;
+      case Opcode::CmpGt:  writeCmp(a > b); break;
+      case Opcode::CmpGe:  writeCmp(a >= b); break;
+      case Opcode::CmpLtU:
+        writeCmp(static_cast<UWord>(a) < static_cast<UWord>(b));
+        break;
+      case Opcode::CmpGeU:
+        writeCmp(static_cast<UWord>(a) >= static_cast<UWord>(b));
+        break;
+      case Opcode::CmpEqI: writeCmp(a == im); break;
+      case Opcode::CmpNeI: writeCmp(a != im); break;
+      case Opcode::CmpLtI: writeCmp(a < im); break;
+      case Opcode::CmpLeI: writeCmp(a <= im); break;
+      case Opcode::CmpGtI: writeCmp(a > im); break;
+      case Opcode::CmpGeI: writeCmp(a >= im); break;
+
+      case Opcode::PSet: writePred(inst.pd, (im & 1) != 0); break;
+      case Opcode::PNot: writePred(inst.pd, !state.readPred(inst.ps)); break;
+      case Opcode::PAnd:
+        writePred(inst.pd,
+                  state.readPred(inst.ps) && state.readPred(inst.ps2));
+        break;
+      case Opcode::POr:
+        writePred(inst.pd,
+                  state.readPred(inst.ps) || state.readPred(inst.ps2));
+        break;
+
+      case Opcode::Ld: {
+        Addr ea = static_cast<Addr>(wrapAdd(a, im));
+        res.memAddr = ea;
+        res.memSize = 8;
+        writeReg(inst.rd, static_cast<Word>(state.mem().readWord(ea)));
+        break;
+      }
+      case Opcode::Ld1: {
+        Addr ea = static_cast<Addr>(wrapAdd(a, im));
+        res.memAddr = ea;
+        res.memSize = 1;
+        writeReg(inst.rd, static_cast<Word>(state.mem().readByte(ea)));
+        break;
+      }
+      case Opcode::St: {
+        Addr ea = static_cast<Addr>(wrapAdd(a, im));
+        res.memAddr = ea;
+        res.memSize = 8;
+        if (undo)
+            undo->recordMem(ea, 8, state.mem().readWord(ea));
+        state.mem().writeWord(ea, static_cast<UWord>(b));
+        break;
+      }
+      case Opcode::St1: {
+        Addr ea = static_cast<Addr>(wrapAdd(a, im));
+        res.memAddr = ea;
+        res.memSize = 1;
+        if (undo)
+            undo->recordMem(ea, 1, state.mem().readByte(ea));
+        state.mem().writeByte(ea, static_cast<std::uint8_t>(b));
+        break;
+      }
+
+      case Opcode::Br:
+        // The qualifying predicate *is* the branch condition; reaching
+        // this point means it was TRUE, so the branch is taken.
+        res.taken = true;
+        res.nextIndex = inst.target;
+        break;
+      case Opcode::Jmp:
+        res.taken = true;
+        res.nextIndex = inst.target;
+        break;
+      case Opcode::Call:
+        writeReg(inst.rd, static_cast<Word>(instAddr(index + 1)));
+        res.taken = true;
+        res.nextIndex = inst.target;
+        break;
+      case Opcode::JmpR:
+      case Opcode::Ret: {
+        res.taken = true;
+        Addr t = static_cast<Addr>(a);
+        if (t < kTextBase || (t - kTextBase) % kInstBytes != 0 ||
+            addrToIndex(t) >= codeSize) {
+            // Only reachable on a speculative wrong path: the caller
+            // decides how to contain it (typically by fetching a NOP
+            // stream until the flush arrives).
+            res.badTarget = true;
+            res.nextIndex = index + 1;
+        } else {
+            res.nextIndex = static_cast<std::uint32_t>(addrToIndex(t));
+        }
+        break;
+      }
+
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        res.halted = true;
+        res.nextIndex = index;
+        break;
+
+      case Opcode::NumOpcodes:
+        wisc_panic("executed NumOpcodes sentinel");
+    }
+
+    return res;
+}
+
+} // namespace wisc

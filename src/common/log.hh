@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            throws FatalError so tests can assert on misconfiguration.
+ * warn()   — something is suspicious but simulation can continue.
+ */
+
+#ifndef WISC_COMMON_LOG_HH_
+#define WISC_COMMON_LOG_HH_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wisc {
+
+/** Exception thrown by fatal(): a user-level configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+/** Build a message string from stream-formattable pieces. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace wisc
+
+/** Abort with a message: simulator invariant violated. */
+#define wisc_panic(...) \
+    ::wisc::detail::panicImpl(__FILE__, __LINE__, \
+                              ::wisc::detail::format(__VA_ARGS__))
+
+/** Throw FatalError: user configuration error. */
+#define wisc_fatal(...) \
+    ::wisc::detail::fatalImpl(::wisc::detail::format(__VA_ARGS__))
+
+/** Print a warning to stderr and continue. */
+#define wisc_warn(...) \
+    ::wisc::detail::warnImpl(::wisc::detail::format(__VA_ARGS__))
+
+/** panic() unless the given invariant holds. */
+#define wisc_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::wisc::detail::panicImpl(__FILE__, __LINE__, \
+                ::wisc::detail::format("assertion '" #cond "' failed: ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // WISC_COMMON_LOG_HH_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random number generator.
+ *
+ * Used by workload input generation and by the deterministic value
+ * synthesizer for wrong-path memory. Fully reproducible across platforms,
+ * unlike std::mt19937 distributions.
+ */
+
+#ifndef WISC_COMMON_RNG_HH_
+#define WISC_COMMON_RNG_HH_
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+/** xorshift64* generator with convenience range/probability helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        wisc_assert(bound != 0, "Rng::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        wisc_assert(lo <= hi, "Rng::range lo > hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** True with the given probability (0.0 .. 1.0). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Stateless 64-bit mix hash (splitmix64 finalizer). Used to synthesize
+ * deterministic-but-arbitrary values, e.g. initial memory contents.
+ */
+inline std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace wisc
+
+#endif // WISC_COMMON_RNG_HH_

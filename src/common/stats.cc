@@ -1,0 +1,76 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace wisc {
+
+Counter &
+StatSet::counter(const std::string &name, const std::string &desc)
+{
+    auto &e = counters_[name];
+    if (e.desc.empty())
+        e.desc = desc;
+    return e.counter;
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, std::size_t buckets,
+                   const std::string &desc)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, HistEntry{desc, Histogram(buckets)})
+                 .first;
+    }
+    return it->second.hist;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.counter.value();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.counter.reset();
+    for (auto &kv : histograms_)
+        kv.second.hist.reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_) {
+        os << std::left << std::setw(44) << kv.first << " "
+           << std::right << std::setw(14) << kv.second.counter.value();
+        if (!kv.second.desc.empty())
+            os << "  # " << kv.second.desc;
+        os << "\n";
+    }
+    for (const auto &kv : histograms_) {
+        os << std::left << std::setw(44) << kv.first
+           << " (histogram, n=" << kv.second.hist.count() << ")\n";
+    }
+}
+
+std::vector<std::string>
+StatSet::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace wisc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named counters/histograms in a StatSet. The harness
+ * reads them by name after a simulation run and the StatSet can dump itself
+ * in a human-readable form. Counters are plain uint64 values; formulas
+ * (ratios such as IPC) are computed by the reader.
+ */
+
+#ifndef WISC_COMMON_STATS_HH_
+#define WISC_COMMON_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wisc {
+
+/** A named event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A bounded histogram with an overflow bucket. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 0) : buckets_(buckets + 1) {}
+
+    /** Record one sample; samples >= bucket count land in the last bucket. */
+    void
+    sample(std::size_t v)
+    {
+        if (buckets_.empty())
+            buckets_.resize(1);
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1;
+        ++buckets_[v];
+        ++count_;
+    }
+
+    void reset() { buckets_.assign(buckets_.size(), 0); count_ = 0; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const
+    {
+        return i < buckets_.size() ? buckets_[i] : 0;
+    }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Registry of named statistics. Names are hierarchical by convention
+ * ("core.fetch.uops"). Registration returns a stable reference; the StatSet
+ * must outlive all users.
+ */
+class StatSet
+{
+  public:
+    StatSet() = default;
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Register (or look up) a counter with a description. */
+    Counter &counter(const std::string &name, const std::string &desc = "");
+
+    /** Register (or look up) a histogram. */
+    Histogram &histogram(const std::string &name, std::size_t buckets,
+                         const std::string &desc = "");
+
+    /** Value of a counter by name; 0 if never registered. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True iff a counter with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Dump all statistics, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** All counter names (sorted), e.g. for introspection in tests. */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        Counter counter;
+    };
+
+    struct HistEntry
+    {
+        std::string desc;
+        Histogram hist;
+    };
+
+    std::map<std::string, Entry> counters_;
+    std::map<std::string, HistEntry> histograms_;
+};
+
+} // namespace wisc
+
+#endif // WISC_COMMON_STATS_HH_

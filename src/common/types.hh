@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every WISC library.
+ */
+
+#ifndef WISC_COMMON_TYPES_HH_
+#define WISC_COMMON_TYPES_HH_
+
+#include <cstdint>
+
+namespace wisc {
+
+/** Byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Architectural general-purpose register index. */
+using RegIdx = std::uint8_t;
+
+/** Architectural predicate register index. */
+using PredIdx = std::uint8_t;
+
+/** Sequence number of a dynamic instruction (monotonically increasing). */
+using SeqNum = std::uint64_t;
+
+/** Signed machine word: WISC is a 64-bit architecture. */
+using Word = std::int64_t;
+
+/** Unsigned machine word. */
+using UWord = std::uint64_t;
+
+/** Number of architectural general-purpose registers. */
+inline constexpr unsigned kNumIntRegs = 64;
+
+/** Number of architectural predicate registers; p0 is hardwired TRUE. */
+inline constexpr unsigned kNumPredRegs = 16;
+
+/** Register index conventions (software ABI, not enforced by hardware). */
+inline constexpr RegIdx kRegZero = 0;   ///< always reads 0, writes ignored
+inline constexpr RegIdx kRegSp = 1;     ///< stack pointer by convention
+inline constexpr RegIdx kRegRa = 2;     ///< link register used by CALL/RET
+
+} // namespace wisc
+
+#endif // WISC_COMMON_TYPES_HH_

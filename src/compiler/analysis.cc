@@ -1,0 +1,153 @@
+#include "compiler/analysis.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+std::vector<BlockId>
+immediatePostdominators(const IrFunction &fn)
+{
+    // Set-based iterative postdominator computation. Our kernels have at
+    // most a few hundred blocks, so O(n^2) bitsets are more than fast
+    // enough and are obviously correct.
+    const std::size_t n = fn.numBlocks();
+    const std::size_t kExit = n; // virtual exit node
+
+    // pdom[b] = set of blocks that postdominate b (including b itself).
+    std::vector<std::vector<bool>> pdom(n + 1,
+                                        std::vector<bool>(n + 1, true));
+    pdom[kExit].assign(n + 1, false);
+    pdom[kExit][kExit] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < n; ++b) {
+            if (fn.blocks()[b].dead)
+                continue;
+            std::vector<BlockId> succs = fn.successors(b);
+            std::vector<std::size_t> succIdx;
+            if (succs.empty())
+                succIdx.push_back(kExit);
+            else
+                for (BlockId s : succs)
+                    succIdx.push_back(s);
+
+            std::vector<bool> inter(n + 1, true);
+            for (std::size_t s : succIdx)
+                for (std::size_t i = 0; i <= n; ++i)
+                    inter[i] = inter[i] && pdom[s][i];
+            inter[b] = true;
+            for (std::size_t i = 0; i <= n; ++i) {
+                // Sets only shrink from the all-true initialization.
+                if (pdom[b][i] && !inter[i]) {
+                    pdom[b][i] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Size of each pdom set; within the chain of strict postdominators of
+    // a block, the immediate one has the largest set.
+    auto setSize = [&](std::size_t d) {
+        std::size_t c = 0;
+        for (std::size_t i = 0; i <= n; ++i)
+            if (pdom[d][i])
+                ++c;
+        return c;
+    };
+
+    std::vector<BlockId> ipdom(n, kNoBlock);
+    for (BlockId b = 0; b < n; ++b) {
+        if (fn.blocks()[b].dead)
+            continue;
+        std::size_t best = kExit + 1;
+        std::size_t bestSize = 0;
+        for (std::size_t d = 0; d < n; ++d) {
+            if (d == b || !pdom[b][d])
+                continue;
+            if (d != kExit && fn.blocks()[d].dead)
+                continue;
+            std::size_t sz = setSize(d);
+            if (sz > bestSize) {
+                bestSize = sz;
+                best = d;
+            }
+        }
+        ipdom[b] = best <= n - 1 ? static_cast<BlockId>(best) : kNoBlock;
+    }
+    return ipdom;
+}
+
+std::vector<BlockId>
+regionBlocks(const IrFunction &fn, BlockId head, BlockId join)
+{
+    std::vector<BlockId> region;
+    std::vector<bool> visited(fn.numBlocks(), false);
+    std::vector<BlockId> stack;
+
+    for (BlockId s : fn.successors(head)) {
+        if (s != join && !visited[s]) {
+            visited[s] = true;
+            stack.push_back(s);
+        }
+    }
+    while (!stack.empty()) {
+        BlockId b = stack.back();
+        stack.pop_back();
+        region.push_back(b);
+        auto succs = fn.successors(b);
+        if (succs.empty())
+            return {}; // escapes through Halt/Indirect: not a region
+        for (BlockId s : succs) {
+            if (s == join)
+                continue;
+            if (s == head)
+                return {}; // back edge to the head: not a region
+            if (!visited[s]) {
+                visited[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    std::sort(region.begin(), region.end());
+    return region;
+}
+
+bool
+isAcyclic(const IrFunction &fn, const std::vector<BlockId> &blocks)
+{
+    // Kahn's algorithm restricted to the induced subgraph.
+    std::vector<bool> inSet(fn.numBlocks(), false);
+    for (BlockId b : blocks)
+        inSet[b] = true;
+
+    std::vector<unsigned> indeg(fn.numBlocks(), 0);
+    for (BlockId b : blocks)
+        for (BlockId s : fn.successors(b))
+            if (s < fn.numBlocks() && inSet[s])
+                ++indeg[s];
+
+    std::vector<BlockId> ready;
+    for (BlockId b : blocks)
+        if (indeg[b] == 0)
+            ready.push_back(b);
+
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        BlockId b = ready.back();
+        ready.pop_back();
+        ++processed;
+        for (BlockId s : fn.successors(b)) {
+            if (s < fn.numBlocks() && inSet[s] && --indeg[s] == 0)
+                ready.push_back(s);
+        }
+    }
+    return processed == blocks.size();
+}
+
+} // namespace wisc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CFG analyses used by if-conversion and wish-branch generation:
+ * reachability, immediate postdominators, and acyclicity checks.
+ */
+
+#ifndef WISC_COMPILER_ANALYSIS_HH_
+#define WISC_COMPILER_ANALYSIS_HH_
+
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/**
+ * Immediate postdominator of every live block, or kNoBlock for blocks
+ * with no postdominator (e.g. blocks that can loop forever or exit).
+ * Computed with the classic iterative dataflow algorithm over the
+ * reverse CFG, using a virtual exit that every Halt/Indirect block
+ * reaches.
+ */
+std::vector<BlockId> immediatePostdominators(const IrFunction &fn);
+
+/**
+ * The set of blocks on paths from 'head' (exclusive) to 'join'
+ * (exclusive), assuming join postdominates head. Returns an empty vector
+ * if the region escapes (reaches a Halt or an unreachable dead end
+ * without passing through join).
+ */
+std::vector<BlockId> regionBlocks(const IrFunction &fn, BlockId head,
+                                  BlockId join);
+
+/** True iff the subgraph induced by 'blocks' contains no cycle. */
+bool isAcyclic(const IrFunction &fn, const std::vector<BlockId> &blocks);
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_ANALYSIS_HH_

@@ -1,0 +1,327 @@
+#include "compiler/builder.hh"
+
+#include "common/log.hh"
+
+namespace wisc {
+
+KernelBuilder::KernelBuilder()
+{
+    cur_ = fn_.newBlock("entry");
+    fn_.setEntry(cur_);
+}
+
+void
+KernelBuilder::notePred(PredIdx p)
+{
+    if (p != 0)
+        fn_.setMaxUserPred(p);
+}
+
+void
+KernelBuilder::emit(const Instruction &inst)
+{
+    wisc_assert(!finished_, "emit after finish()");
+    notePred(inst.qp);
+    notePred(inst.pd);
+    notePred(inst.pd2);
+    notePred(inst.ps);
+    notePred(inst.ps2);
+    cur().insts.push_back(inst);
+}
+
+void
+KernelBuilder::op3(Opcode op, RegIdx rd, RegIdx rs1, RegIdx rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+void
+KernelBuilder::opImm(Opcode op, RegIdx rd, RegIdx rs1, Word imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+KernelBuilder::li(RegIdx rd, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+KernelBuilder::cmp(Opcode op, PredIdx pd, PredIdx pdC, RegIdx a, RegIdx b)
+{
+    Instruction i;
+    i.op = op;
+    i.pd = pd;
+    i.pd2 = pdC;
+    i.rs1 = a;
+    i.rs2 = b;
+    emit(i);
+}
+
+void
+KernelBuilder::cmpi(Opcode op, PredIdx pd, PredIdx pdC, RegIdx a, Word imm)
+{
+    Instruction i;
+    i.op = op;
+    i.pd = pd;
+    i.pd2 = pdC;
+    i.rs1 = a;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+KernelBuilder::ld(RegIdx rd, RegIdx base, Word off)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+KernelBuilder::ld1(RegIdx rd, RegIdx base, Word off)
+{
+    Instruction i;
+    i.op = Opcode::Ld1;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+KernelBuilder::st(RegIdx val, RegIdx base, Word off)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rs2 = val;
+    i.rs1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+KernelBuilder::st1(RegIdx val, RegIdx base, Word off)
+{
+    Instruction i;
+    i.op = Opcode::St1;
+    i.rs2 = val;
+    i.rs1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+KernelBuilder::pset(PredIdx pd, bool v)
+{
+    Instruction i;
+    i.op = Opcode::PSet;
+    i.pd = pd;
+    i.imm = v ? 1 : 0;
+    emit(i);
+}
+
+void
+KernelBuilder::pnot(PredIdx pd, PredIdx ps)
+{
+    Instruction i;
+    i.op = Opcode::PNot;
+    i.pd = pd;
+    i.ps = ps;
+    emit(i);
+}
+
+void
+KernelBuilder::leaBlock(RegIdx rd, BlockId target)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.target = target; // resolved to the block's byte address at lowering
+    emit(i);
+}
+
+void
+KernelBuilder::ifThen(PredIdx cond, PredIdx condC, const BodyFn &thenBody)
+{
+    wisc_assert(cond != 0 && condC != 0,
+                "ifThen needs a predicate pair from a compare");
+    BlockId head = cur_;
+    BlockId thenB = fn_.newBlock();
+
+    cur_ = thenB;
+    thenBody();
+    BlockId thenEnd = cur_;
+    // The join is created only now so that any blocks the arm opened get
+    // ids inside the region, keeping it contiguous for wish generation.
+    BlockId join = fn_.newBlock();
+
+    // Branch *around* the then-arm when the condition is false.
+    Terminator t;
+    t.kind = TermKind::CondBr;
+    t.cond = condC;
+    t.condC = cond;
+    t.taken = join;
+    t.next = thenB;
+    fn_.block(head).term = t;
+
+    Terminator ft;
+    ft.kind = TermKind::Fallthrough;
+    ft.next = join;
+    fn_.block(thenEnd).term = ft;
+
+    cur_ = join;
+}
+
+void
+KernelBuilder::ifThenElse(PredIdx cond, PredIdx condC,
+                          const BodyFn &thenBody, const BodyFn &elseBody)
+{
+    wisc_assert(cond != 0 && condC != 0,
+                "ifThenElse needs a predicate pair from a compare");
+    BlockId head = cur_;
+    BlockId elseB = fn_.newBlock(); // Figure 3 layout: else falls through
+
+    cur_ = elseB;
+    elseBody();
+    BlockId elseEnd = cur_;
+
+    BlockId thenB = fn_.newBlock();
+    cur_ = thenB;
+    thenBody();
+    BlockId thenEnd = cur_;
+
+    // Created last so nested blocks stay inside the region (contiguity).
+    BlockId join = fn_.newBlock();
+
+    Terminator t;
+    t.kind = TermKind::CondBr;
+    t.cond = cond;
+    t.condC = condC;
+    t.taken = thenB;
+    t.next = elseB;
+    fn_.block(head).term = t;
+
+    Terminator jt;
+    jt.kind = TermKind::Jump;
+    jt.taken = join;
+    fn_.block(elseEnd).term = jt;
+
+    Terminator ft;
+    ft.kind = TermKind::Fallthrough;
+    ft.next = join;
+    fn_.block(thenEnd).term = ft;
+
+    cur_ = join;
+}
+
+void
+KernelBuilder::doWhileLoop(PredIdx contPred, const BodyFn &body)
+{
+    wisc_assert(contPred != 0, "doWhileLoop needs a continuation pred");
+    BlockId pre = cur_;
+    BlockId loop = fn_.newBlock();
+
+    Terminator pt;
+    pt.kind = TermKind::Fallthrough;
+    pt.next = loop;
+    fn_.block(pre).term = pt;
+
+    cur_ = loop;
+    body();
+    // The body may open nested hammocks (cur_ then ends in their join
+    // block); the backward branch goes on the last body block. Such a
+    // loop only becomes a wish-loop candidate after if-conversion merges
+    // the body back into one block. The exit block is created last so
+    // nested hammock blocks keep contiguous ids.
+    BlockId exit = fn_.newBlock();
+    Terminator lt;
+    lt.kind = TermKind::CondBr;
+    lt.cond = contPred;
+    lt.condC = 0;
+    lt.taken = loop;
+    lt.next = exit;
+    cur().term = lt;
+
+    cur_ = exit;
+    notePred(contPred);
+}
+
+void
+KernelBuilder::whileLoop(const BodyFn &header, PredIdx contPred,
+                         PredIdx exitPred, const BodyFn &body)
+{
+    wisc_assert(contPred != 0 && exitPred != 0,
+                "whileLoop needs (continue, exit) predicates");
+    BlockId pre = cur_;
+    BlockId head = fn_.newBlock();
+
+    Terminator pt;
+    pt.kind = TermKind::Fallthrough;
+    pt.next = head;
+    fn_.block(pre).term = pt;
+
+    cur_ = head;
+    header();
+    wisc_assert(cur_ == head, "whileLoop header must stay in one block");
+
+    BlockId bodyB = fn_.newBlock();
+    cur_ = bodyB;
+    body();
+    BlockId bodyEnd = cur_;
+
+    BlockId exit = fn_.newBlock();
+
+    Terminator ht;
+    ht.kind = TermKind::CondBr;
+    ht.cond = exitPred;
+    ht.condC = contPred;
+    ht.taken = exit;
+    ht.next = bodyB;
+    fn_.block(head).term = ht;
+
+    Terminator bt;
+    bt.kind = TermKind::Jump;
+    bt.taken = head;
+    fn_.block(bodyEnd).term = bt;
+
+    cur_ = exit;
+    notePred(contPred);
+    notePred(exitPred);
+}
+
+void
+KernelBuilder::data(Addr base, std::vector<Word> words)
+{
+    fn_.addData(base, std::move(words));
+}
+
+IrFunction
+KernelBuilder::finish()
+{
+    wisc_assert(!finished_, "finish() called twice");
+    finished_ = true;
+    cur().term = Terminator{}; // Halt
+    fn_.validate();
+    return std::move(fn_);
+}
+
+} // namespace wisc

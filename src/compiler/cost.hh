@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The compile-time cost model of §4.2.1 (Equations 4.1-4.3): decides,
+ * for the BASE-DEF binary, whether if-converting a region is estimated
+ * to be profitable.
+ *
+ *   exec(normal) = exec_T * P(T) + exec_N * P(N)
+ *                  + misp_penalty * P(misprediction)        (Eq 4.1)
+ *   exec(pred)   = exec_pred                                 (Eq 4.2)
+ *   convert iff exec(pred) < exec(normal)                    (Eq 4.3)
+ *
+ * Execution times are estimated with dependence-height and resource-usage
+ * analysis, exactly as the paper describes: the cost of a straight-line
+ * sequence is max(dependence height, total latency / issue width).
+ */
+
+#ifndef WISC_COMPILER_COST_HH_
+#define WISC_COMPILER_COST_HH_
+
+#include <vector>
+
+#include "arch/emulator.hh"
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** Machine parameters the cost model assumes (paper: penalty = 30). */
+struct CostParams
+{
+    double mispredictPenalty = 30.0;
+    double issueWidth = 8.0;
+};
+
+/** Per-opcode latency weight used in estimates. */
+double instLatency(const Instruction &inst);
+
+/**
+ * Estimated cycles to execute an instruction sequence: the maximum of the
+ * critical dependence-chain height (through registers and predicates) and
+ * the resource bound (total latency / issue width).
+ */
+double estimateSequenceCycles(const std::vector<Instruction> &insts,
+                              const CostParams &params = CostParams{});
+
+/** Taken-probability of each IR conditional branch, from a profile of the
+ *  lowered normal-branch binary. Index = BlockId; 0.5 when unknown. */
+struct BranchStats
+{
+    std::vector<double> takenProb;   ///< P(branch at block b taken)
+    std::vector<double> mispredictRate; ///< static-predictor proxy
+    std::vector<double> execWeight;  ///< executions relative to total
+
+    double
+    taken(BlockId b) const
+    {
+        return b < takenProb.size() ? takenProb[b] : 0.5;
+    }
+    double
+    mispredict(BlockId b) const
+    {
+        return b < mispredictRate.size() ? mispredictRate[b] : 0.25;
+    }
+};
+
+/**
+ * Evaluate Equation 4.3 for the region hanging off 'head' joining at
+ * 'join' with member blocks 'region'. Returns true iff predication is
+ * estimated to be cheaper than the branchy code.
+ */
+bool predicationProfitable(const IrFunction &fn, BlockId head,
+                           BlockId join,
+                           const std::vector<BlockId> &region,
+                           const BranchStats &stats,
+                           const CostParams &params = CostParams{});
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_COST_HH_

@@ -1,0 +1,98 @@
+#include "compiler/dot.hh"
+
+#include <sstream>
+
+namespace wisc {
+
+namespace {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\l";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *
+wishColor(WishKind w)
+{
+    switch (w) {
+      case WishKind::Jump: return "blue";
+      case WishKind::Join: return "darkgreen";
+      case WishKind::Loop: return "red";
+      case WishKind::None: break;
+    }
+    return "black";
+}
+
+} // namespace
+
+std::string
+toDot(const IrFunction &fn, const std::string &name)
+{
+    std::ostringstream os;
+    os << "digraph \"" << escape(name) << "\" {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const IrBlock &blk = fn.block(b);
+        if (blk.dead)
+            continue;
+
+        std::ostringstream label;
+        label << "B" << b;
+        if (!blk.name.empty())
+            label << " (" << blk.name << ")";
+        if (blk.guard)
+            label << " [guard p" << unsigned(blk.guard) << "]";
+        label << "\n";
+        for (const Instruction &inst : blk.insts)
+            label << disassemble(inst) << "\n";
+
+        os << "  b" << b << " [label=\"" << escape(label.str()) << "\"";
+        if (b == fn.entry())
+            os << ", style=bold";
+        os << "];\n";
+
+        const Terminator &t = blk.term;
+        switch (t.kind) {
+          case TermKind::Fallthrough:
+            os << "  b" << b << " -> b" << t.next
+               << " [style=dashed];\n";
+            break;
+          case TermKind::Jump:
+            os << "  b" << b << " -> b" << t.taken << ";\n";
+            break;
+          case TermKind::CondBr:
+            os << "  b" << b << " -> b" << t.taken << " [label=\"p"
+               << unsigned(t.cond);
+            if (t.wish != WishKind::None)
+                os << " " << wishKindName(t.wish);
+            os << "\", color=" << wishColor(t.wish) << "];\n";
+            os << "  b" << b << " -> b" << t.next
+               << " [style=dashed, color=" << wishColor(t.wish)
+               << "];\n";
+            break;
+          case TermKind::Indirect:
+            os << "  b" << b << " -> indirect" << b
+               << " [style=dotted];\n";
+            break;
+          case TermKind::Halt:
+            os << "  b" << b << " -> exit [style=dotted];\n";
+            break;
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace wisc

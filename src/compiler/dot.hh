@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Graphviz export of the compiler IR — a debugging aid for inspecting
+ * what if-conversion and wish generation did to a function.
+ */
+
+#ifndef WISC_COMPILER_DOT_HH_
+#define WISC_COMPILER_DOT_HH_
+
+#include <string>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/**
+ * Render the live CFG as a Graphviz digraph. Wish branches are colored
+ * (jump = blue, join = green, loop = red); guarded blocks show their
+ * guard predicate.
+ */
+std::string toDot(const IrFunction &fn, const std::string &name = "fn");
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_DOT_HH_

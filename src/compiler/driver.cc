@@ -1,0 +1,207 @@
+#include "compiler/driver.hh"
+
+#include "arch/emulator.hh"
+#include "common/log.hh"
+#include "compiler/simplify.hh"
+#include "compiler/wishloop.hh"
+
+namespace wisc {
+
+const BinaryVariant kAllVariants[5] = {
+    BinaryVariant::Normal,      BinaryVariant::BaseDef,
+    BinaryVariant::BaseMax,     BinaryVariant::WishJumpJoin,
+    BinaryVariant::WishJumpJoinLoop,
+};
+
+const char *
+variantName(BinaryVariant v)
+{
+    switch (v) {
+      case BinaryVariant::Normal:           return "normal";
+      case BinaryVariant::BaseDef:          return "BASE-DEF";
+      case BinaryVariant::BaseMax:          return "BASE-MAX";
+      case BinaryVariant::WishJumpJoin:     return "wish-jump-join";
+      case BinaryVariant::WishJumpJoinLoop: return "wish-jump-join-loop";
+    }
+    return "?";
+}
+
+BranchStats
+profileFunction(const IrFunction &fn)
+{
+    std::map<std::uint32_t, BlockId> brOfInst;
+    Program prog = fn.lower(&brOfInst);
+
+    Emulator emu;
+    Profile profile;
+    EmuResult res = emu.run(prog, &profile);
+    wisc_assert(res.halted, "profiling run did not terminate");
+
+    BranchStats stats;
+    stats.takenProb.assign(fn.numBlocks(), 0.5);
+    stats.mispredictRate.assign(fn.numBlocks(), 0.25);
+    stats.execWeight.assign(fn.numBlocks(), 0.0);
+
+    for (const auto &kv : brOfInst) {
+        std::uint32_t inst = kv.first;
+        BlockId blk = kv.second;
+        const InstProfile &p = profile.perInst[inst];
+        if (p.execCount == 0)
+            continue;
+        double taken = static_cast<double>(p.takenCount) /
+                       static_cast<double>(p.execCount);
+        stats.takenProb[blk] = taken;
+        stats.mispredictRate[blk] = taken < 1.0 - taken ? taken
+                                                        : 1.0 - taken;
+        stats.execWeight[blk] =
+            static_cast<double>(p.execCount) /
+            static_cast<double>(profile.dynInsts ? profile.dynInsts : 1);
+    }
+    return stats;
+}
+
+namespace {
+
+/** Apply region conversions for one variant until fixpoint. */
+void
+convertRegions(IrFunction &fn, BinaryVariant v, const BranchStats &stats,
+               const CompileOptions &opts)
+{
+    // Bounded by the region count; each iteration converts one region.
+    for (unsigned iter = 0; iter < 10000; ++iter) {
+        auto regions = findConvertibleRegions(fn, opts.limits);
+        bool converted = false;
+        for (const RegionInfo &r : regions) {
+            switch (v) {
+              case BinaryVariant::Normal:
+                return;
+              case BinaryVariant::BaseDef:
+                if (!predicationProfitable(fn, r.head, r.join, r.blocks,
+                                           stats, opts.cost))
+                    continue;
+                converted = ifConvertRegion(fn, r, false);
+                break;
+              case BinaryVariant::BaseMax:
+                converted = ifConvertRegion(fn, r, false);
+                break;
+              case BinaryVariant::WishJumpJoin:
+              case BinaryVariant::WishJumpJoinLoop:
+                // §3.6: with the profile-aware heuristic, branches the
+                // profile marks as nearly-always-correctly-predicted
+                // keep their normal branch — predication could only add
+                // overhead and the wish machinery is not needed.
+                if (opts.wishHeuristic == WishHeuristic::ProfileAware &&
+                    stats.mispredict(r.head) < opts.easyBranchThreshold)
+                    continue;
+                if (r.fallthroughSize > opts.wishFallthroughThreshold) {
+                    converted = ifConvertRegion(fn, r, true);
+                    // Regions our builder did not lay out contiguously
+                    // fall back to full predication (§4.2.2 short-branch
+                    // rule applies to them as well).
+                    if (!converted)
+                        converted = ifConvertRegion(fn, r, false);
+                } else {
+                    converted = ifConvertRegion(fn, r, false);
+                }
+                break;
+            }
+            if (converted)
+                break; // CFG changed; rediscover regions
+        }
+        if (!converted)
+            return;
+        // Merging the chains a conversion leaves behind exposes enclosing
+        // hammocks (and, later, single-block loops) to the next round.
+        simplifyChains(fn);
+    }
+    wisc_panic("region conversion did not reach a fixpoint");
+}
+
+void
+convertLoops(IrFunction &fn, const CompileOptions &opts)
+{
+    for (unsigned iter = 0; iter < 10000; ++iter) {
+        auto loops = findWishLoops(fn, opts.wishLoopBodyLimit);
+        bool converted = false;
+        for (const LoopInfo &l : loops) {
+            if (convertWishLoop(fn, l)) {
+                converted = true;
+                break;
+            }
+        }
+        if (!converted)
+            return;
+    }
+    wisc_panic("wish-loop conversion did not reach a fixpoint");
+}
+
+} // namespace
+
+CompiledBinary
+compileVariant(const IrFunction &fn, BinaryVariant v,
+               const BranchStats &stats, const CompileOptions &opts)
+{
+    IrFunction work = fn; // value copy; conversions are destructive
+
+    convertRegions(work, v, stats, opts);
+    if (v == BinaryVariant::WishJumpJoinLoop)
+        convertLoops(work, opts);
+
+    CompiledBinary out;
+    out.variant = v;
+    out.program = work.lower();
+
+    for (const Instruction &inst : out.program.code()) {
+        if (inst.op != Opcode::Br)
+            continue;
+        ++out.staticCondBranches;
+        switch (inst.wish) {
+          case WishKind::Jump: ++out.staticWishJumps; break;
+          case WishKind::Join: ++out.staticWishJoins; break;
+          case WishKind::Loop: ++out.staticWishLoops; break;
+          case WishKind::None: break;
+        }
+    }
+    return out;
+}
+
+std::map<BinaryVariant, CompiledBinary>
+compileAllVariants(const IrFunction &fn, const CompileOptions &opts)
+{
+    BranchStats stats = profileFunction(fn);
+    std::map<BinaryVariant, CompiledBinary> out;
+    for (BinaryVariant v : kAllVariants)
+        out.emplace(v, compileVariant(fn, v, stats, opts));
+    return out;
+}
+
+unsigned
+verifyVariantEquivalence(
+    const std::map<BinaryVariant, CompiledBinary> &variants)
+{
+    auto ref = variants.find(BinaryVariant::Normal);
+    wisc_assert(ref != variants.end(), "missing normal variant");
+
+    Emulator refEmu;
+    EmuResult refRes = refEmu.run(ref->second.program);
+    wisc_assert(refRes.halted, "normal variant did not halt");
+
+    unsigned checked = 0;
+    for (const auto &kv : variants) {
+        Emulator emu;
+        EmuResult res = emu.run(kv.second.program);
+        if (!res.halted)
+            wisc_fatal(variantName(kv.first), " variant did not halt");
+        if (res.resultReg != refRes.resultReg)
+            wisc_fatal(variantName(kv.first),
+                       " variant result mismatch: got ", res.resultReg,
+                       " want ", refRes.resultReg);
+        if (res.memFingerprint != refRes.memFingerprint)
+            wisc_fatal(variantName(kv.first),
+                       " variant memory fingerprint mismatch");
+        ++checked;
+    }
+    return checked;
+}
+
+} // namespace wisc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Region-based if-conversion and wish jump/join generation.
+ *
+ * A convertible region is a single-entry single-exit acyclic subgraph
+ * hanging off a conditional-branch head and rejoining at the head's
+ * immediate postdominator (the join). The converter assigns every region
+ * block a guard predicate (the OR of its incoming edge predicates),
+ * rewrites region compares to IA-64-style unconditional compares guarded
+ * by their block's guard, and guards all other instructions.
+ *
+ * Two output styles share that machinery:
+ *  - full predication (Figure 3b): all region branches removed, blocks
+ *    merged into the head;
+ *  - wish jump/join code (Figures 3c, 6c): the predicated layout is kept
+ *    as separate blocks and every control transfer survives as a wish
+ *    branch — the head's branch becomes a wish jump, every inner branch
+ *    (including unconditional jumps to the join, which become conditional
+ *    on the block guard) becomes a wish join.
+ */
+
+#ifndef WISC_COMPILER_IFCONVERT_HH_
+#define WISC_COMPILER_IFCONVERT_HH_
+
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** A candidate region discovered by findConvertibleRegions(). */
+struct RegionInfo
+{
+    BlockId head = kNoBlock;   ///< block ending in the conditional branch
+    BlockId join = kNoBlock;   ///< immediate postdominator of head
+    std::vector<BlockId> blocks; ///< member blocks, ascending id order
+    unsigned instCount = 0;    ///< total instructions in member blocks
+    /** Instructions in the head's fall-through successor (0 if the
+     *  fall-through edge goes straight to the join). This is the paper's
+     *  §4.2.2 "N" heuristic input. */
+    unsigned fallthroughSize = 0;
+};
+
+/** Pass limits; regions beyond these are "not suitable" (§4.2.1). */
+struct IfConvertLimits
+{
+    unsigned maxBlocks = 8;
+    unsigned maxInsts = 48;
+};
+
+/**
+ * Find every currently convertible region. Suitability requires: the
+ * head ends in a non-wish CondBr with a complement predicate and an
+ * in-block defining compare; the join exists; the region is acyclic,
+ * has no side entries, contains only plain CondBr/Jump/Fallthrough
+ * terminators (each CondBr with its own defining compare), stays within
+ * the limits, and writes no predicate that the conversion will use as a
+ * guard. Regions are returned smallest-first so that nested hammocks
+ * convert inside-out.
+ */
+std::vector<RegionInfo> findConvertibleRegions(
+    const IrFunction &fn, const IfConvertLimits &limits = IfConvertLimits{});
+
+/**
+ * If-convert one region found by findConvertibleRegions().
+ *
+ * @param keepWishBranches false: full predication (region blocks merge
+ *        into the head and die); true: wish jump/join generation (blocks
+ *        stay, branches become wish branches). Wish generation requires
+ *        the region block ids to be the contiguous, topologically ordered
+ *        range between head and join (our builder lays hammocks out that
+ *        way); returns false without modifying anything otherwise.
+ */
+bool ifConvertRegion(IrFunction &fn, const RegionInfo &region,
+                     bool keepWishBranches);
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_IFCONVERT_HH_

@@ -1,0 +1,44 @@
+#include "compiler/simplify.hh"
+
+#include "common/log.hh"
+
+namespace wisc {
+
+unsigned
+simplifyChains(IrFunction &fn)
+{
+    unsigned merges = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto preds = fn.predecessors();
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            IrBlock &blk = fn.block(b);
+            if (blk.dead)
+                continue;
+            Terminator &t = blk.term;
+            BlockId c = kNoBlock;
+            if (t.kind == TermKind::Jump)
+                c = t.taken;
+            else if (t.kind == TermKind::Fallthrough)
+                c = t.next;
+            if (c == kNoBlock || c <= b || c == fn.entry())
+                continue;
+            if (preds[c].size() != 1 || preds[c][0] != b)
+                continue;
+
+            IrBlock &cb = fn.block(c);
+            blk.insts.insert(blk.insts.end(), cb.insts.begin(),
+                             cb.insts.end());
+            blk.term = cb.term;
+            cb.insts.clear();
+            cb.dead = true;
+            ++merges;
+            changed = true;
+            break; // predecessor lists are stale; recompute
+        }
+    }
+    return merges;
+}
+
+} // namespace wisc

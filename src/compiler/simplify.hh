@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CFG cleanup: merge forward single-predecessor chains.
+ *
+ * After full if-conversion collapses a hammock, the head typically ends
+ * with an unconditional jump to a join block whose only predecessor is
+ * the head. Merging such chains is what turns a loop whose body contained
+ * a hammock back into a single-block self loop — a wish-loop candidate.
+ */
+
+#ifndef WISC_COMPILER_SIMPLIFY_HH_
+#define WISC_COMPILER_SIMPLIFY_HH_
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/**
+ * Repeatedly merge block pairs (B, C) where B ends in an unconditional
+ * Jump/Fallthrough to C, C's only predecessor is B, C is not the entry,
+ * and C comes after B in layout order. Returns the number of merges.
+ */
+unsigned simplifyChains(IrFunction &fn);
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_SIMPLIFY_HH_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wish-loop generation (§3.2, Figures 4 and 5 of the paper).
+ *
+ * A wish loop predicates the loop body with the loop-continuation
+ * predicate and keeps the backward branch as a wish loop branch. In
+ * low-confidence-mode the hardware fetches iterations as predicated code;
+ * over-fetched iterations drain as NOPs (the late-exit win).
+ *
+ * Two source shapes are handled:
+ *  - do-while: a single-block self loop (Figure 4). The preheader gains
+ *    "pset p, 1" and the body is guarded by p.
+ *  - while: a header computing the condition, a body jumping back
+ *    (Figure 5). The loop is rotated: the header becomes the preheader
+ *    (computing p once), and the body block gains guarded copies of the
+ *    header's instructions followed by the backward wish loop on p.
+ *
+ * Nested wish loops are never generated (§3.5.4 keeps hardware simple);
+ * a multi-block body is simply not a candidate.
+ */
+
+#ifndef WISC_COMPILER_WISHLOOP_HH_
+#define WISC_COMPILER_WISHLOOP_HH_
+
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** A wish-loop candidate. */
+struct LoopInfo
+{
+    enum class Shape { DoWhile, While };
+    Shape shape = Shape::DoWhile;
+    BlockId header = kNoBlock; ///< While: condition block; DoWhile: body
+    BlockId body = kNoBlock;   ///< block that will carry the wish loop
+    unsigned bodySize = 0;     ///< instruction count of the would-be body
+};
+
+/**
+ * Find wish-loop candidates whose body has fewer than maxBodyInsts
+ * instructions (the paper's L=30 heuristic).
+ */
+std::vector<LoopInfo> findWishLoops(const IrFunction &fn,
+                                    unsigned maxBodyInsts = 30);
+
+/** Convert one candidate; returns false if it no longer matches. */
+bool convertWishLoop(IrFunction &fn, const LoopInfo &loop);
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_WISHLOOP_HH_

@@ -1,0 +1,74 @@
+#include "harness/experiments.hh"
+
+#include "harness/table.hh"
+
+namespace wisc {
+
+NormalizedResults
+runNormalizedExperiment(const std::vector<SeriesSpec> &series,
+                        InputSet input, const SimParams &baselineParams,
+                        const std::vector<std::string> &benchmarks)
+{
+    NormalizedResults out;
+    out.benchmarks = benchmarks;
+    for (const auto &s : series)
+        out.seriesLabels.push_back(s.label);
+    out.avg.assign(series.size(), 0.0);
+    out.avgNoMcf.assign(series.size(), 0.0);
+
+    unsigned noMcfCount = 0;
+    for (const std::string &name : benchmarks) {
+        CompiledWorkload w = compileWorkload(name);
+        RunOutcome base =
+            runWorkload(w, BinaryVariant::Normal, input, baselineParams);
+
+        std::vector<double> row;
+        for (const SeriesSpec &s : series) {
+            RunOutcome r = runWorkload(w, s.variant, input, s.params);
+            double rel = static_cast<double>(r.result.cycles) /
+                         static_cast<double>(base.result.cycles);
+            row.push_back(rel);
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out.avg[i] += row[i];
+            if (name != "mcf")
+                out.avgNoMcf[i] += row[i];
+        }
+        if (name != "mcf")
+            ++noMcfCount;
+        out.relTime.push_back(std::move(row));
+    }
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        out.avg[i] /= static_cast<double>(benchmarks.size());
+        if (noMcfCount)
+            out.avgNoMcf[i] /= static_cast<double>(noMcfCount);
+    }
+    return out;
+}
+
+void
+printNormalized(std::ostream &os, const NormalizedResults &r)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    headers.insert(headers.end(), r.seriesLabels.begin(),
+                   r.seriesLabels.end());
+    Table t(headers);
+    for (std::size_t b = 0; b < r.benchmarks.size(); ++b) {
+        std::vector<std::string> row = {r.benchmarks[b]};
+        for (double v : r.relTime[b])
+            row.push_back(Table::num(v));
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> avgRow = {"AVG"};
+    for (double v : r.avg)
+        avgRow.push_back(Table::num(v));
+    t.addRow(std::move(avgRow));
+    std::vector<std::string> avgnRow = {"AVGnomcf"};
+    for (double v : r.avgNoMcf)
+        avgnRow.push_back(Table::num(v));
+    t.addRow(std::move(avgnRow));
+    t.print(os);
+}
+
+} // namespace wisc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction binaries: run a set of
+ * labeled (variant, machine) configurations over the whole benchmark
+ * suite and print execution time normalized to the normal-branch binary,
+ * with the paper's AVG and AVGnomcf summary columns (§2.2 footnote 2).
+ */
+
+#ifndef WISC_HARNESS_EXPERIMENTS_HH_
+#define WISC_HARNESS_EXPERIMENTS_HH_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace wisc {
+
+/** One experiment series (a bar color in the paper's figures). */
+struct SeriesSpec
+{
+    std::string label;
+    BinaryVariant variant = BinaryVariant::Normal;
+    SimParams params;
+};
+
+/** Result matrix: rows = benchmarks (+AVG/AVGnomcf), cols = series. */
+struct NormalizedResults
+{
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> seriesLabels;
+    /** relTime[bench][series], normalized to the normal binary. */
+    std::vector<std::vector<double>> relTime;
+    std::vector<double> avg;
+    std::vector<double> avgNoMcf;
+};
+
+/**
+ * Run every benchmark under the baseline (normal binary, default
+ * machine unless baselineParams overrides) and under each series;
+ * normalize. Prints per-benchmark progress to stderr when verbose.
+ */
+NormalizedResults runNormalizedExperiment(
+    const std::vector<SeriesSpec> &series, InputSet input,
+    const SimParams &baselineParams = SimParams{},
+    const std::vector<std::string> &benchmarks = workloadNames());
+
+/** Print a NormalizedResults matrix as the paper-style table. */
+void printNormalized(std::ostream &os, const NormalizedResults &r);
+
+} // namespace wisc
+
+#endif // WISC_HARNESS_EXPERIMENTS_HH_

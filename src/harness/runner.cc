@@ -1,0 +1,33 @@
+#include "harness/runner.hh"
+
+namespace wisc {
+
+namespace {
+
+RunOutcome
+capture(const Program &prog, const SimParams &params)
+{
+    StatSet stats;
+    RunOutcome out;
+    out.result = simulate(prog, params, stats);
+    for (const std::string &name : stats.counterNames())
+        out.stats[name] = stats.get(name);
+    return out;
+}
+
+} // namespace
+
+RunOutcome
+runWorkload(const CompiledWorkload &w, BinaryVariant v, InputSet input,
+            const SimParams &params)
+{
+    return capture(programFor(w, v, input), params);
+}
+
+RunOutcome
+runProgram(const Program &prog, const SimParams &params)
+{
+    return capture(prog, params);
+}
+
+} // namespace wisc

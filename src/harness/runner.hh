@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment runner: executes a compiled workload variant on the timing
+ * core and captures both the headline result and a snapshot of every
+ * statistic, so experiment binaries can post-process freely.
+ */
+
+#ifndef WISC_HARNESS_RUNNER_HH_
+#define WISC_HARNESS_RUNNER_HH_
+
+#include <map>
+#include <string>
+
+#include "uarch/core.hh"
+#include "workloads/workload.hh"
+
+namespace wisc {
+
+/** Everything one simulation produced. */
+struct RunOutcome
+{
+    SimResult result;
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t
+    stat(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0 : it->second;
+    }
+
+    /** Mispredicted conditional branches per 1000 retired µops. */
+    double
+    mispredictsPer1K() const
+    {
+        return result.retiredUops
+                   ? 1000.0 * static_cast<double>(
+                                  stat("core.branch_mispredicts")) /
+                         static_cast<double>(result.retiredUops)
+                   : 0.0;
+    }
+};
+
+/** Run one (workload, variant, input, machine) combination. */
+RunOutcome runWorkload(const CompiledWorkload &w, BinaryVariant v,
+                       InputSet input,
+                       const SimParams &params = SimParams{});
+
+/** Run an arbitrary program (used by component studies). */
+RunOutcome runProgram(const Program &prog,
+                      const SimParams &params = SimParams{});
+
+} // namespace wisc
+
+#endif // WISC_HARNESS_RUNNER_HH_

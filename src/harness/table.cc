@@ -1,0 +1,70 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace wisc {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            if (c == 0)
+                os << std::left << std::setw(static_cast<int>(widths[c]))
+                   << cell;
+            else
+                os << "  " << std::right
+                   << std::setw(static_cast<int>(widths[c])) << cell;
+        }
+        os << "\n";
+    };
+
+    printRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title,
+            const std::string &subtitle)
+{
+    os << "\n=== " << title << " ===\n";
+    if (!subtitle.empty())
+        os << subtitle << "\n";
+    os << "\n";
+}
+
+} // namespace wisc

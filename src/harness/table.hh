@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width table printing for experiment output, mirroring the
+ * row/series structure of the paper's figures.
+ */
+
+#ifndef WISC_HARNESS_TABLE_HH_
+#define WISC_HARNESS_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wisc {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a figure/table banner. */
+void printBanner(std::ostream &os, const std::string &title,
+                 const std::string &subtitle = "");
+
+} // namespace wisc
+
+#endif // WISC_HARNESS_TABLE_HH_

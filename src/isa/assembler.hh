@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Two-pass text assembler for WISC.
+ *
+ * Syntax (one instruction per line, ';' or '#' start comments):
+ *
+ *   label:
+ *       (p1) add r1, r2, r3       ; optional qualifying-predicate prefix
+ *       addi r1, r2, 42
+ *       li r5, 0x100
+ *       cmp.lt p1, p2, r3, r4     ; pd, pd2 (p0 = "no complement"), rs1, rs2
+ *       cmpi.ge p1, p0, r3, 7
+ *       pset p1, 1
+ *       pnot p2, p1
+ *       pand p3, p1, p2
+ *       ld r1, r2, 8              ; rd, base, offset
+ *       st r3, r2, 8              ; value, base, offset
+ *       br p1, target             ; sugar for "(p1) br target"
+ *       wish.jump p1, target
+ *       wish.join p1, target
+ *       wish.loop p1, target
+ *       jmp target
+ *       call r2, target
+ *       ret r2
+ *       jmpr r3
+ *       halt
+ *   .data 0x20000 1 2 3           ; base address then words
+ *   .entry label
+ *
+ * Errors raise FatalError with a line number.
+ */
+
+#ifndef WISC_ISA_ASSEMBLER_HH_
+#define WISC_ISA_ASSEMBLER_HH_
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace wisc {
+
+/** Assemble source text into a validated Program. */
+Program assemble(const std::string &source);
+
+} // namespace wisc
+
+#endif // WISC_ISA_ASSEMBLER_HH_

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The WISC instruction set: a RISC-like, fully predicated µop ISA.
+ *
+ * WISC plays the role of the paper's "generic RISC µops translated from
+ * IA-64" (§4.1). Every instruction carries a qualifying predicate (qp);
+ * when the qp evaluates FALSE the instruction is an architectural NOP.
+ * Conditional branches use the qp as their branch condition, exactly like
+ * IA-64's "(qp) br.cond". Compare instructions write a predicate and,
+ * optionally, its complement (pd2), mirroring IA-64's two-target compares.
+ *
+ * Wish-branch support follows Figure 7 of the paper: a conditional branch
+ * additionally carries a btype (normal/wish) and wtype (jump/join/loop)
+ * hint. Hardware without wish support may ignore the hints and treat the
+ * branch as a normal conditional branch.
+ */
+
+#ifndef WISC_ISA_ISA_HH_
+#define WISC_ISA_ISA_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wisc {
+
+/** Every architectural µop opcode. */
+enum class Opcode : std::uint8_t
+{
+    // Three-register ALU.
+    Add, Sub, And, Or, Xor, Shl, Shr, Sra, Mul, Div, Rem,
+    // Register-immediate ALU.
+    AddI, AndI, OrI, XorI, ShlI, ShrI, SraI, MulI,
+    // Load immediate into a register.
+    Li,
+    // Register-register compares: pd = (rs1 rel rs2), pd2 = !pd (optional).
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpLtU, CmpGeU,
+    // Register-immediate compares.
+    CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+    // Predicate-register operations.
+    PSet,   ///< pd = imm & 1
+    PNot,   ///< pd = !ps
+    PAnd,   ///< pd = ps && ps2
+    POr,    ///< pd = ps || ps2
+    // Memory: address = rs1 + imm.
+    Ld,     ///< rd = mem64[rs1 + imm]
+    St,     ///< mem64[rs1 + imm] = rs2
+    Ld1,    ///< rd = zext(mem8[rs1 + imm])
+    St1,    ///< mem8[rs1 + imm] = rs2 & 0xff
+    // Control flow. Br is taken iff its qp is TRUE.
+    Br,     ///< conditional branch (wish hints apply to this opcode only)
+    Jmp,    ///< unconditional direct jump
+    JmpR,   ///< unconditional indirect jump to rs1
+    Call,   ///< rd = return address; jump to target
+    Ret,    ///< indirect jump to rs1 (return)
+    // Miscellaneous.
+    Nop,
+    Halt,
+
+    NumOpcodes
+};
+
+/** Wish-branch hint (the wtype field of Figure 7; None == btype 0). */
+enum class WishKind : std::uint8_t
+{
+    None,   ///< normal conditional branch
+    Jump,   ///< first wish branch of an if-converted region
+    Join,   ///< control-dependent follow-on wish branch
+    Loop,   ///< predicated backward branch
+};
+
+/** Functional-unit class used by the timing model. */
+enum class InstrClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    Branch,
+    Other,
+};
+
+/** Sentinel predicate destination meaning "no predicate written". Writing
+ *  p0 is architecturally meaningless (p0 is hardwired TRUE), so index 0
+ *  doubles as the null destination. */
+inline constexpr PredIdx kPredNone = 0;
+
+/** Sentinel for "no branch target". */
+inline constexpr std::uint32_t kNoTarget = 0xffffffff;
+
+/** Base byte address of the text segment; each µop occupies 4 bytes. */
+inline constexpr Addr kTextBase = 0x10000;
+
+/** Fixed encoded size of one µop in the I-cache image. */
+inline constexpr Addr kInstBytes = 4;
+
+/**
+ * One architectural µop. Fields not used by an opcode are zero. The
+ * 'target' of control transfers is an *instruction index* into the owning
+ * Program; byte addresses are derived as kTextBase + index * kInstBytes.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    /** Qualifying predicate; 0 (p0) means always execute. For Br this is
+     *  also the branch condition. */
+    PredIdx qp = 0;
+    RegIdx rd = 0;          ///< destination register
+    RegIdx rs1 = 0;         ///< first source register
+    RegIdx rs2 = 0;         ///< second source register
+    PredIdx pd = kPredNone; ///< predicate destination
+    PredIdx pd2 = kPredNone;///< complement predicate destination
+    PredIdx ps = 0;         ///< predicate source (PNot/PAnd/POr)
+    PredIdx ps2 = 0;        ///< second predicate source (PAnd/POr)
+    Word imm = 0;           ///< immediate operand
+    std::uint32_t target = kNoTarget; ///< branch target (instruction index)
+    WishKind wish = WishKind::None;   ///< wish hint; valid only for Br
+    /** IA-64-style unconditional-compare semantics: when the qualifying
+     *  predicate is FALSE, a compare with unc set writes FALSE to both
+     *  predicate destinations instead of preserving them. Required by
+     *  if-conversion so that dead-path guard predicates read FALSE. */
+    bool unc = false;
+
+    bool isBranch() const { return op == Opcode::Br; }
+    bool
+    isControl() const
+    {
+        return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::JmpR ||
+               op == Opcode::Call || op == Opcode::Ret;
+    }
+    bool isWish() const { return op == Opcode::Br && wish != WishKind::None; }
+    bool isLoad() const { return op == Opcode::Ld || op == Opcode::Ld1; }
+    bool isStore() const { return op == Opcode::St || op == Opcode::St1; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isIndirect() const
+    {
+        return op == Opcode::JmpR || op == Opcode::Ret;
+    }
+
+    /** True iff this opcode writes an integer register when qp is TRUE. */
+    bool writesReg() const;
+    /** True iff this opcode writes one or two predicate registers. */
+    bool writesPred() const;
+    /** True iff rs1 is a live source for this opcode. */
+    bool readsRs1() const;
+    /** True iff rs2 is a live source for this opcode. */
+    bool readsRs2() const;
+    /** Functional-unit class for the timing model. */
+    InstrClass instrClass() const;
+};
+
+/** Mnemonic for an opcode ("add", "cmp.lt", ...). */
+const char *opcodeName(Opcode op);
+
+/** Mnemonic suffix for a wish kind ("", "wish.jump", ...). */
+const char *wishKindName(WishKind w);
+
+/** Disassemble one instruction (targets printed as indices). */
+std::string disassemble(const Instruction &inst);
+
+/** Byte address of the instruction at the given index. */
+inline Addr
+instAddr(std::uint64_t index)
+{
+    return kTextBase + index * kInstBytes;
+}
+
+/** Inverse of instAddr. */
+inline std::uint64_t
+addrToIndex(Addr pc)
+{
+    return (pc - kTextBase) / kInstBytes;
+}
+
+} // namespace wisc
+
+#endif // WISC_ISA_ISA_HH_

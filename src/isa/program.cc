@@ -1,0 +1,97 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+void
+Program::defineLabel(const std::string &name)
+{
+    auto idx = static_cast<std::uint32_t>(code_.size());
+    auto [it, inserted] = labels_.emplace(name, idx);
+    if (!inserted)
+        wisc_fatal("duplicate label '", name, "'");
+}
+
+std::uint32_t
+Program::label(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        wisc_fatal("undefined label '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labels_.count(name) != 0;
+}
+
+const Instruction &
+Program::at(std::uint32_t idx) const
+{
+    wisc_assert(idx < code_.size(), "instruction index ", idx,
+                " out of range (size ", code_.size(), ")");
+    return code_[idx];
+}
+
+void
+Program::validate() const
+{
+    if (code_.empty())
+        wisc_fatal("empty program");
+    if (entry_ >= code_.size())
+        wisc_fatal("entry point out of range");
+
+    bool has_halt = false;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        const Instruction &inst = code_[i];
+        if (inst.op == Opcode::Halt)
+            has_halt = true;
+        const bool direct = inst.op == Opcode::Br || inst.op == Opcode::Jmp ||
+                            inst.op == Opcode::Call;
+        if (direct) {
+            if (inst.target == kNoTarget || inst.target >= code_.size())
+                wisc_fatal("instruction ", i, " has bad target ",
+                           inst.target);
+        }
+        if (inst.wish != WishKind::None && inst.op != Opcode::Br)
+            wisc_fatal("instruction ", i, " has wish hint on non-branch");
+        if (inst.qp >= kNumPredRegs || inst.pd >= kNumPredRegs ||
+            inst.pd2 >= kNumPredRegs || inst.ps >= kNumPredRegs ||
+            inst.ps2 >= kNumPredRegs)
+            wisc_fatal("instruction ", i, " has bad predicate index");
+        if (inst.rd >= kNumIntRegs || inst.rs1 >= kNumIntRegs ||
+            inst.rs2 >= kNumIntRegs)
+            wisc_fatal("instruction ", i, " has bad register index");
+        if (inst.writesPred() && inst.pd == kPredNone &&
+            inst.pd2 == kPredNone)
+            wisc_fatal("instruction ", i,
+                       " writes no predicate destination");
+    }
+    if (!has_halt)
+        wisc_fatal("program has no halt instruction");
+}
+
+std::string
+Program::listing() const
+{
+    // Invert the label map for annotation.
+    std::map<std::uint32_t, std::string> by_index;
+    for (const auto &kv : labels_)
+        by_index[kv.second] += kv.first + ": ";
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        auto it = by_index.find(static_cast<std::uint32_t>(i));
+        if (it != by_index.end())
+            os << it->second << "\n";
+        os << "  " << i << ":\t" << disassemble(code_[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wisc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Program: an executable WISC image — code, labels, and initial data.
+ */
+
+#ifndef WISC_ISA_PROGRAM_HH_
+#define WISC_ISA_PROGRAM_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace wisc {
+
+/** One contiguous run of initialized 64-bit data words. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<Word> words;
+};
+
+/**
+ * An executable program image. Instructions are stored as a flat vector;
+ * control-flow targets are indices into that vector. Data segments seed
+ * the simulated memory before execution.
+ */
+class Program
+{
+  public:
+    /** Append one instruction; returns its index. */
+    std::uint32_t
+    append(const Instruction &inst)
+    {
+        code_.push_back(inst);
+        return static_cast<std::uint32_t>(code_.size() - 1);
+    }
+
+    /** Bind a label name to the *next* appended instruction's index. */
+    void defineLabel(const std::string &name);
+
+    /** Look up a previously defined label. Fatal if missing. */
+    std::uint32_t label(const std::string &name) const;
+
+    /** True iff the label exists. */
+    bool hasLabel(const std::string &name) const;
+
+    /** Add an initialized data segment. */
+    void
+    addData(Addr base, std::vector<Word> words)
+    {
+        data_.push_back({base, std::move(words)});
+    }
+
+    /** Replace every data segment (swap in a different input set). */
+    void
+    setData(std::vector<DataSegment> segs)
+    {
+        data_ = std::move(segs);
+    }
+
+    const std::vector<Instruction> &code() const { return code_; }
+    std::vector<Instruction> &code() { return code_; }
+    const std::vector<DataSegment> &data() const { return data_; }
+    const std::map<std::string, std::uint32_t> &labels() const
+    {
+        return labels_;
+    }
+
+    std::size_t size() const { return code_.size(); }
+    const Instruction &at(std::uint32_t idx) const;
+
+    /** Entry instruction index (default 0). */
+    std::uint32_t entry() const { return entry_; }
+    void setEntry(std::uint32_t e) { entry_ = e; }
+
+    /**
+     * Check structural well-formedness: every control transfer with a
+     * direct target points inside the code, predicate destinations are
+     * legal, and the program contains a Halt. Fatal on violation.
+     */
+    void validate() const;
+
+    /** Full disassembly listing with label annotations. */
+    std::string listing() const;
+
+  private:
+    std::vector<Instruction> code_;
+    std::vector<DataSegment> data_;
+    std::map<std::string, std::uint32_t> labels_;
+    std::uint32_t entry_ = 0;
+};
+
+} // namespace wisc
+
+#endif // WISC_ISA_PROGRAM_HH_

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Table-2 branch prediction stack: a 64K-entry gshare and a PAs
+ * two-level predictor combined by a 64K-entry selector (McFarling-style
+ * hybrid), plus a 4K-entry 4-way BTB extended with wish-branch type bits
+ * (§3.5.1), a 64-entry return address stack, and an indirect target
+ * cache.
+ *
+ * The global history register is updated speculatively at fetch and
+ * restored from per-branch checkpoints on a flush. Pattern tables and
+ * the selector train at retirement.
+ */
+
+#ifndef WISC_UARCH_BPRED_HH_
+#define WISC_UARCH_BPRED_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "uarch/params.hh"
+
+namespace wisc {
+
+/** Snapshot of speculative predictor state taken at each branch fetch,
+ *  used to repair the predictor on a pipeline flush. */
+struct BpredCheckpoint
+{
+    std::uint64_t globalHistory = 0;
+    std::uint16_t localHistory = 0; ///< prior PAs history of this branch
+};
+
+/** Direction predictor: gshare + PAs + selector. */
+class HybridPredictor
+{
+  public:
+    HybridPredictor(const SimParams &params, StatSet &stats);
+
+    /** Predict the branch at 'pc' (instruction index). Also returns the
+     *  checkpoint the caller must keep for recovery. */
+    bool predict(std::uint32_t pc, BpredCheckpoint &ckpt) const;
+
+    /** Speculatively shift the predicted direction into the histories. */
+    void updateSpeculative(std::uint32_t pc, bool predTaken);
+
+    /** Train counters with the true outcome (at retirement). */
+    void train(std::uint32_t pc, bool taken, const BpredCheckpoint &ckpt);
+
+    /** Restore speculative history from a checkpoint after a flush; the
+     *  resolved branch's true outcome is shifted in. */
+    void recover(std::uint32_t pc, bool actualTaken,
+                 const BpredCheckpoint &ckpt);
+
+    std::uint64_t globalHistory() const { return globalHistory_; }
+
+  private:
+    std::size_t gshareIndex(std::uint32_t pc, std::uint64_t hist) const;
+    std::size_t pasHistIndex(std::uint32_t pc) const;
+    std::size_t pasPatternIndex(std::uint32_t pc,
+                                std::uint16_t hist) const;
+    std::size_t selectorIndex(std::uint32_t pc) const;
+
+    SimParams params_;
+    std::vector<std::uint8_t> gshare_;   ///< 2-bit counters
+    std::vector<std::uint16_t> pasHist_; ///< per-address history regs
+    std::vector<std::uint8_t> pasPattern_;
+    std::vector<std::uint8_t> selector_; ///< 2-bit: >=2 prefers gshare
+    std::uint64_t globalHistory_ = 0;
+};
+
+/** One BTB entry (with the §3.5.1 wish extension). */
+struct BtbEntry
+{
+    bool valid = false;
+    std::uint32_t pc = 0;
+    std::uint32_t target = 0;
+    WishKind wish = WishKind::None;
+    bool isConditional = false;
+    std::uint64_t lastUse = 0;
+};
+
+/** Branch target buffer, set-associative with LRU. */
+class Btb
+{
+  public:
+    Btb(const SimParams &params, StatSet &stats);
+
+    const BtbEntry *lookup(std::uint32_t pc);
+    void insert(std::uint32_t pc, std::uint32_t target, WishKind wish,
+                bool isConditional);
+    void reset();
+
+  private:
+    std::size_t setOf(std::uint32_t pc) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<BtbEntry> entries_;
+    std::uint64_t useClock_ = 0;
+    Counter *hits_;
+    Counter *misses_;
+};
+
+/** Return address stack with simple overwrite-on-overflow semantics. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries);
+
+    void push(std::uint32_t returnPc);
+    std::uint32_t pop(); ///< returns 0 when empty
+
+    /** Checkpoint/restore the top-of-stack pointer (cheap repair). */
+    unsigned top() const { return top_; }
+    void restore(unsigned top) { top_ = top; }
+
+  private:
+    std::vector<std::uint32_t> stack_;
+    unsigned top_ = 0; ///< number of valid entries
+};
+
+/** Tagless indirect target cache indexed by pc ^ global history. */
+class IndirectTargetCache
+{
+  public:
+    IndirectTargetCache(unsigned entries, StatSet &stats);
+
+    std::uint32_t predict(std::uint32_t pc, std::uint64_t hist) const;
+    void update(std::uint32_t pc, std::uint64_t hist,
+                std::uint32_t target);
+
+  private:
+    std::size_t index(std::uint32_t pc, std::uint64_t hist) const;
+    std::vector<std::uint32_t> targets_;
+};
+
+} // namespace wisc
+
+#endif // WISC_UARCH_BPRED_HH_

@@ -1,0 +1,1002 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/emulator.hh"
+#include "common/log.hh"
+
+namespace wisc {
+
+namespace {
+
+bool
+isCompareOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::CmpLtU: case Opcode::CmpGeU:
+      case Opcode::CmpEqI: case Opcode::CmpNeI: case Opcode::CmpLtI:
+      case Opcode::CmpLeI: case Opcode::CmpGtI: case Opcode::CmpGeI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+rangesOverlap(Addr a, unsigned asz, Addr b, unsigned bsz)
+{
+    return a < b + bsz && b < a + asz;
+}
+
+} // namespace
+
+Core::Core(const SimParams &params, StatSet &stats)
+    : params_(params),
+      stats_(stats),
+      memsys_(params, stats),
+      bpred_(params, stats),
+      btb_(params, stats),
+      ras_(params.rasEntries),
+      itc_(params.indirectEntries, stats),
+      conf_(params, stats),
+      udConf_(params, stats),
+      wish_(stats, params.wishLoopBias)
+{
+    // The fetch queue models the front-end pipe itself, so it must hold
+    // frontEndDelay() stages' worth of fetched µops plus a small decode
+    // buffer — otherwise back-pressure would artificially restart the
+    // pipe latency.
+    fetchQueueCap_ = params.frontEndDelay() * params.fetchWidth +
+                     2 * params.fetchWidth;
+
+    cCycles_ = &stats.counter("core.cycles", "simulated cycles");
+    cRetired_ = &stats.counter("core.retired_uops", "retired µops");
+    cRetiredNops_ = &stats.counter("core.retired_pred_false",
+                                   "retired with FALSE qualifying pred");
+    cFetched_ = &stats.counter("core.fetched_uops",
+                               "µops fetched (incl. wrong path)");
+    cCondBranches_ = &stats.counter("core.cond_branches",
+                                    "retired conditional branches");
+    cMispredicts_ = &stats.counter("core.branch_mispredicts",
+                                   "retired cond. branches whose "
+                                   "prediction was wrong");
+    cFlushes_ = &stats.counter("core.flushes", "pipeline flushes");
+}
+
+// ---------------------------------------------------------------------
+// Dependence bookkeeping
+// ---------------------------------------------------------------------
+
+bool
+Core::estimateConfidence(std::uint32_t pc, std::uint64_t hist) const
+{
+    return params_.confKind == ConfKind::UpDown
+               ? udConf_.estimate(pc, hist)
+               : conf_.estimate(pc, hist);
+}
+
+void
+Core::updateConfidence(std::uint32_t pc, std::uint64_t hist, bool correct)
+{
+    if (params_.confKind == ConfKind::UpDown)
+        udConf_.update(pc, hist, correct);
+    else
+        conf_.update(pc, hist, correct);
+}
+
+DynInst *
+Core::findInst(SeqNum seq)
+{
+    if (rob_.empty() || seq == 0)
+        return nullptr;
+    SeqNum base = rob_.front().seq;
+    if (seq < base || seq >= base + rob_.size())
+        return nullptr;
+    return &rob_[static_cast<std::size_t>(seq - base)];
+}
+
+const DynInst *
+Core::findInst(SeqNum seq) const
+{
+    return const_cast<Core *>(this)->findInst(seq);
+}
+
+bool
+Core::producerDone(SeqNum seq) const
+{
+    if (seq == 0)
+        return true;
+    const DynInst *p = findInst(seq);
+    if (!p)
+        return true; // already retired
+    return p->completed && p->completeCycle <= now_;
+}
+
+/**
+ * Build the dependence list and claim producer slots for a renamed µop,
+ * implementing the predication mechanisms of §2.1 / §5.3.3 and the
+ * NO-DEPEND oracle. Select-µop expansion is handled by the caller; this
+ * models the C-style single-µop shape (selectPart == 0) or the two
+ * halves (1 = compute, 2 = select).
+ */
+void
+Core::computeDeps(DynInst &di)
+{
+    const Instruction &si = di.si;
+    const bool noDep = params_.oracle.noDepend;
+    const bool predPredicted = di.hasPredQp && si.qp != 0 && !si.isBranch();
+
+    auto dep = [&](SeqNum s) {
+        if (s != 0)
+            di.deps.push_back(s);
+    };
+    auto depReg = [&](RegIdx r) {
+        if (r != kRegZero)
+            dep(regProducer_[r]);
+    };
+    auto depPred = [&](PredIdx p) {
+        if (p != 0)
+            dep(predProducer_[p]);
+    };
+
+    const bool writesReg = si.writesReg();
+    const bool writesPred = si.writesPred();
+
+    if (di.selectPart == 2) {
+        // Select half: depends on the compute half (previous seq), the
+        // old destination, and the predicate.
+        dep(di.seq - 1);
+        depReg(si.rd);
+        depPred(si.qp);
+        claimProducers(di);
+        return;
+    }
+
+    if (si.isBranch()) {
+        // A branch resolves against the *real* predicate value.
+        depPred(si.qp);
+        return;
+    }
+    if (si.op == Opcode::JmpR || si.op == Opcode::Ret) {
+        depReg(si.rs1);
+        return;
+    }
+    if (si.op == Opcode::Jmp || si.op == Opcode::Call ||
+        si.op == Opcode::Halt || si.op == Opcode::Nop) {
+        if (si.op == Opcode::Call)
+            claimProducers(di);
+        return;
+    }
+
+    if (noDep && si.qp != 0) {
+        // NO-DEPEND oracle: the predicate value is known at rename.
+        if (!di.step.qpTrue)
+            return; // pure NOP: no deps, claims nothing
+        if (si.readsRs1())
+            depReg(si.rs1);
+        if (si.readsRs2())
+            depReg(si.rs2);
+        if (si.op == Opcode::PNot || si.op == Opcode::PAnd ||
+            si.op == Opcode::POr) {
+            depPred(si.ps);
+            if (si.op != Opcode::PNot)
+                depPred(si.ps2);
+        }
+        claimProducers(di);
+        return;
+    }
+
+    if (predPredicted) {
+        // §3.5.3: the qualifying predicate is predicted; the µop is
+        // shaped as if the predicate were already resolved.
+        if (di.predQpVal) {
+            if (si.readsRs1())
+                depReg(si.rs1);
+            if (si.readsRs2())
+                depReg(si.rs2);
+        } else {
+            // Predicted FALSE: a register move of the old destination
+            // (or an old-value pass-through for predicate writes).
+            if (writesReg)
+                depReg(si.rd);
+            if (writesPred && !si.unc) {
+                depPred(si.pd);
+                depPred(si.pd2);
+            }
+        }
+        claimProducers(di);
+        return;
+    }
+
+    // Baseline C-style conditional expression (§2.1): the µop reads its
+    // sources, the predicate, and — when guarded — the old destination.
+    if (si.readsRs1())
+        depReg(si.rs1);
+    if (si.readsRs2())
+        depReg(si.rs2);
+    if (di.selectPart == 0)
+        depPred(si.qp);
+    if (si.qp != 0 && di.selectPart == 0) {
+        if (writesReg)
+            depReg(si.rd); // old destination value
+        if (writesPred && !si.unc) {
+            depPred(si.pd);
+            depPred(si.pd2);
+        }
+    }
+    if (si.op == Opcode::PNot || si.op == Opcode::PAnd ||
+        si.op == Opcode::POr) {
+        depPred(si.ps);
+        if (si.op != Opcode::PNot)
+            depPred(si.ps2);
+    }
+
+    if (di.selectPart == 1)
+        return; // compute half claims nothing
+    claimProducers(di);
+}
+
+void
+Core::claimProducers(DynInst &di)
+{
+    const Instruction &si = di.si;
+    if (si.writesReg() && si.rd != kRegZero) {
+        di.prevRegProducer = regProducer_[si.rd];
+        di.claimedReg = si.rd;
+        di.claimsReg = true;
+        regProducer_[si.rd] = di.seq;
+    }
+    if (si.writesPred()) {
+        unsigned slot = 0;
+        for (PredIdx p : {si.pd, si.pd2}) {
+            if (p != kPredNone) {
+                di.prevPredProducer[slot] = predProducer_[p];
+                di.claimedPred[slot] = p;
+                predProducer_[p] = di.seq;
+            }
+            ++slot;
+        }
+    }
+}
+
+bool
+Core::depsReady(const DynInst &di) const
+{
+    for (SeqNum s : di.deps)
+        if (!producerDone(s))
+            return false;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+Core::fetchOne(std::uint32_t idx)
+{
+    wish_.onInstructionFetched(idx);
+
+    DynInst di;
+    di.pc = idx;
+    di.uid = nextUid_++;
+    di.fetchCycle = now_;
+    di.si = prog_->code()[idx];
+    di.undoStart = undo_.mark();
+    di.step = executeInst(di.si, idx, codeSize_, state_, &undo_);
+    di.undoEnd = undo_.mark();
+    di.renameReady = now_ + params_.frontEndDelay();
+    di.isCtrl = di.si.isControl();
+    di.memAddr = di.step.memAddr;
+    di.memSize = di.step.memSize;
+    di.isMemOp = di.si.isMem();
+    di.memSkipped = di.isMemOp && !di.step.qpTrue;
+
+    // Predicate-prediction capture and buffer maintenance (decode-side
+    // structures, §3.5.3), strictly in fetch order.
+    if (params_.wishEnabled && di.si.qp != 0) {
+        auto v = wish_.predictedPredicate(di.si.qp);
+        if (v) {
+            di.hasPredQp = true;
+            di.predQpVal = *v;
+        }
+    }
+    if (isCompareOp(di.si.op))
+        wish_.noteCompare(di.si.pd, di.si.pd2);
+    if (di.si.writesPred()) {
+        wish_.notePredWrite(di.si.pd);
+        wish_.notePredWrite(di.si.pd2);
+    }
+
+    if (di.isCtrl)
+        processControl(di);
+    else
+        fetchPc_ = idx + 1;
+
+    if (di.step.halted)
+        fetchHalted_ = true;
+
+    ++*cFetched_;
+    if (tracer_)
+        tracer_->onFetch(di.uid, di.pc, di.si, now_);
+    fetchQueue_.push_back(std::move(di));
+}
+
+void
+Core::processControl(DynInst &di)
+{
+    const Instruction &si = di.si;
+    const std::uint32_t idx = di.pc;
+    const auto &oracle = params_.oracle;
+
+    switch (si.op) {
+      case Opcode::Br: {
+        bool predictorTaken = bpred_.predict(idx, di.ckpt);
+        bool effective;
+
+        if (oracle.perfectCBP) {
+            predictorTaken = di.step.taken;
+            effective = di.step.taken;
+            di.highConf = true;
+            di.fetchMode = FrontEndMode::Normal;
+        } else if (params_.wishEnabled && si.wish != WishKind::None) {
+            bool highConf =
+                oracle.perfectConfidence
+                    ? (predictorTaken == di.step.taken)
+                    : estimateConfidence(idx, di.ckpt.globalHistory);
+            wish_.setBranchPredicate(si.qp);
+            WishDecision d = wish_.onWishBranch(idx, si.wish,
+                                                predictorTaken, highConf,
+                                                si.target);
+            effective = d.effectiveTaken;
+            di.fetchMode = d.branchMode;
+            di.highConf = d.highConfidence;
+        } else {
+            effective = predictorTaken;
+            di.fetchMode = FrontEndMode::Normal;
+        }
+
+        di.predictorTaken = predictorTaken;
+        di.predictedTaken = effective;
+        di.predictedTarget = effective ? si.target : idx + 1;
+        if (si.wish == WishKind::Loop)
+            di.loopInstance = wish_.loopInstance(idx);
+        bpred_.updateSpeculative(idx, effective);
+
+        // BTB: a predicted-taken branch that misses costs a small
+        // redirect bubble (the target is unknown until decode).
+        const BtbEntry *e = btb_.lookup(idx);
+        if (!e && effective)
+            fetchStallUntil_ = now_ + 2;
+        btb_.insert(idx, si.target, si.wish, true);
+
+        fetchPc_ = di.predictedTarget;
+        break;
+      }
+      case Opcode::Jmp:
+      case Opcode::Call: {
+        di.predictedTaken = true;
+        di.predictedTarget = si.target;
+        if (!btb_.lookup(idx))
+            fetchStallUntil_ = now_ + 2;
+        btb_.insert(idx, si.target, WishKind::None, false);
+        if (si.op == Opcode::Call)
+            ras_.push(idx + 1);
+        fetchPc_ = si.target;
+        break;
+      }
+      case Opcode::Ret: {
+        std::uint32_t tgt = ras_.pop();
+        if (oracle.perfectCBP)
+            tgt = di.step.nextIndex;
+        if (tgt == 0 || tgt >= codeSize_)
+            tgt = idx + 1;
+        di.predictedTaken = true;
+        di.predictedTarget = tgt;
+        fetchPc_ = tgt;
+        break;
+      }
+      case Opcode::JmpR: {
+        di.ckpt.globalHistory = bpred_.globalHistory();
+        std::uint32_t tgt =
+            itc_.predict(idx, di.ckpt.globalHistory);
+        if (oracle.perfectCBP)
+            tgt = di.step.nextIndex;
+        if (tgt == 0 || tgt >= codeSize_)
+            tgt = idx + 1;
+        di.predictedTaken = true;
+        di.predictedTarget = tgt;
+        fetchPc_ = tgt;
+        break;
+      }
+      default:
+        wisc_panic("processControl on non-control op");
+    }
+
+    di.rasTop = ras_.top();
+}
+
+void
+Core::stageFetch()
+{
+    if (fetchHalted_ || now_ < fetchStallUntil_)
+        return;
+    if (fetchQueue_.size() >= fetchQueueCap_)
+        return;
+    if (fetchPc_ >= codeSize_) {
+        fetchHalted_ = true; // only a flush can redirect us
+        return;
+    }
+
+    // One I-cache line per cycle; a miss stalls until the fill.
+    unsigned lat = memsys_.fetchAccess(instAddr(fetchPc_));
+    if (lat > params_.il1.hitLatency) {
+        fetchStallUntil_ = now_ + lat;
+        return;
+    }
+    const Addr lineMask = ~(static_cast<Addr>(params_.il1.lineBytes) - 1);
+    const Addr startLine = instAddr(fetchPc_) & lineMask;
+
+    unsigned slots = params_.fetchWidth;
+    unsigned condBrs = 0;
+    unsigned processed = 0;
+
+    while (slots > 0 && processed < params_.fetchWidth * 4) {
+        if (fetchHalted_ || now_ < fetchStallUntil_)
+            break;
+        if (fetchPc_ >= codeSize_) {
+            fetchHalted_ = true;
+            break;
+        }
+        if ((instAddr(fetchPc_) & lineMask) != startLine)
+            break;
+        if (fetchQueue_.size() >= fetchQueueCap_)
+            break;
+
+        std::uint32_t idx = fetchPc_;
+        const Instruction &si = prog_->code()[idx];
+        if (si.op == Opcode::Br) {
+            if (condBrs >= params_.maxCondBrPerFetch)
+                break;
+            ++condBrs;
+        }
+
+        ++processed;
+        fetchOne(idx);
+        const DynInst &di = fetchQueue_.back();
+
+        // NO-FETCH oracle: predicated-FALSE µops cost no bandwidth and
+        // are dropped from the pipe entirely (except unconditional
+        // compares, whose clearing writes are architectural).
+        bool elide = params_.oracle.noFetch && !di.step.qpTrue &&
+                     !di.isCtrl &&
+                     !(di.si.unc && di.si.writesPred());
+        if (elide) {
+            fetchQueue_.pop_back();
+            continue;
+        }
+
+        --slots;
+        // Fetch ends at the first predicted-taken control transfer.
+        if (di.isCtrl && di.predictedTaken)
+            break;
+        if (di.step.halted)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+Core::stageRename()
+{
+    unsigned renamed = 0;
+    while (renamed < params_.decodeWidth && !fetchQueue_.empty()) {
+        DynInst &front = fetchQueue_.front();
+        if (front.renameReady > now_)
+            break;
+
+        const bool expand =
+            params_.predMech == PredMechanism::SelectUop &&
+            front.si.qp != 0 && front.si.writesReg() &&
+            !front.si.isBranch() && !params_.oracle.noDepend &&
+            !front.hasPredQp;
+        const unsigned need = expand ? 2 : 1;
+
+        if (rob_.size() + need > params_.robSize ||
+            iq_.size() + need > params_.iqSize)
+            break;
+
+        DynInst di = std::move(front);
+        fetchQueue_.pop_front();
+
+        if (expand) {
+            // Compute half: executes the operation unconditionally into
+            // a temporary; carries the memory access.
+            DynInst a = di;
+            a.seq = nextSeq_++;
+            a.selectPart = 1;
+            if (a.si.isStore() && !a.memSkipped)
+                storeSeqs_.push_back(a.seq);
+            a.undoEnd = a.undoStart; // effects commit with the select
+            computeDeps(a);
+            a.inIQ = true;
+            iq_.push_back(a.seq);
+            rob_.push_back(std::move(a));
+
+            // Select half: picks new vs old value once the predicate
+            // resolves; owns the architectural effects.
+            DynInst b = std::move(di);
+            b.seq = nextSeq_++;
+            b.uid = nextUid_++; // the select half is a distinct µop
+            b.selectPart = 2;
+            b.isMemOp = false;
+            b.memSize = 0;
+            computeDeps(b);
+            b.inIQ = true;
+            iq_.push_back(b.seq);
+            if (tracer_) {
+                tracer_->onFetch(b.uid, b.pc, b.si, b.fetchCycle);
+                tracer_->onRename(rob_.back().uid, now_);
+                tracer_->onRename(b.uid, now_);
+            }
+            rob_.push_back(std::move(b));
+            renamed += 2;
+            continue;
+        }
+
+        di.seq = nextSeq_++;
+        computeDeps(di);
+        di.inIQ = true;
+        if (tracer_)
+            tracer_->onRename(di.uid, now_);
+        if (di.si.isStore() && !di.memSkipped)
+            storeSeqs_.push_back(di.seq);
+        iq_.push_back(di.seq);
+        rob_.push_back(std::move(di));
+        ++renamed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue and execute
+// ---------------------------------------------------------------------
+
+unsigned
+Core::loadLatency(const DynInst &di)
+{
+    // Forwarding was already decided at issue; this is a real access.
+    return memsys_.loadAccess(di.memAddr, now_);
+}
+
+void
+Core::stageIssue()
+{
+    unsigned issued = 0;
+    unsigned memPorts = 0;
+
+    for (std::size_t i = 0;
+         i < iq_.size() && issued < params_.issueWidth; ++i) {
+        DynInst *di = findInst(iq_[i]);
+        wisc_assert(di && di->inIQ, "stale IQ entry");
+        if (di->issued)
+            continue;
+        if (!depsReady(*di))
+            continue;
+
+        bool isLoad = di->si.isLoad() && !di->memSkipped &&
+                      di->selectPart != 2;
+        bool isStore = di->si.isStore() && !di->memSkipped;
+        if ((isLoad || isStore) &&
+            memPorts >= params_.memPortsPerCycle)
+            continue;
+
+        // Loads must wait for older overlapping stores' data, and a
+        // missing load needs a free MSHR.
+        bool forwarded = false;
+        if (isLoad) {
+            bool blocked = false;
+            for (auto it = storeSeqs_.rbegin(); it != storeSeqs_.rend();
+                 ++it) {
+                if (*it >= di->seq)
+                    continue;
+                const DynInst *s = findInst(*it);
+                if (!s)
+                    break; // already retired: memory is up to date
+                if (rangesOverlap(s->memAddr, s->memSize, di->memAddr,
+                                  di->memSize)) {
+                    if (!(s->completed && s->completeCycle <= now_))
+                        blocked = true;
+                    else
+                        forwarded = true;
+                    break; // youngest older overlapping store decides
+                }
+            }
+            if (blocked)
+                continue;
+            if (!forwarded && !memsys_.loadWouldHitL1(di->memAddr)) {
+                // MSHR check: count misses still in flight.
+                unsigned inflight = 0;
+                for (Cycle c : outstandingMisses_)
+                    if (c > now_)
+                        ++inflight;
+                if (inflight >= params_.maxOutstandingMisses)
+                    continue;
+            }
+        }
+
+        unsigned lat;
+        if (isLoad) {
+            lat = forwarded ? params_.latStoreForward : loadLatency(*di);
+            if (!forwarded && lat > memsys_.l1dHitLatency()) {
+                // Track the miss for MSHR accounting; reuse stale slots.
+                bool reused = false;
+                for (Cycle &c : outstandingMisses_) {
+                    if (c <= now_) {
+                        c = now_ + lat;
+                        reused = true;
+                        break;
+                    }
+                }
+                if (!reused)
+                    outstandingMisses_.push_back(now_ + lat);
+            }
+            ++memPorts;
+        } else if (isStore) {
+            lat = params_.latAlu;
+            ++memPorts;
+        } else {
+            switch (di->si.instrClass()) {
+              case InstrClass::IntMul: lat = params_.latMul; break;
+              case InstrClass::IntDiv: lat = params_.latDiv; break;
+              case InstrClass::Branch: lat = params_.latBranch; break;
+              case InstrClass::Load: // predicated-off load: a move
+              case InstrClass::Store:
+              case InstrClass::IntAlu:
+              case InstrClass::Other:
+              default: lat = params_.latAlu; break;
+            }
+        }
+
+        di->issued = true;
+        di->completeCycle = now_ + lat;
+        events_.push({di->completeCycle, di->seq, di->uid});
+        if (tracer_)
+            tracer_->onIssue(di->uid, now_);
+        ++issued;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion and branch resolution
+// ---------------------------------------------------------------------
+
+void
+Core::stageComplete()
+{
+    while (!events_.empty() && events_.top().cycle <= now_) {
+        Event ev = events_.top();
+        events_.pop();
+        DynInst *di = findInst(ev.seq);
+        if (!di || di->uid != ev.uid || !di->issued || di->completed)
+            continue; // squashed (or stale event for a reused seq)
+        Cycle cyc = ev.cycle;
+        di->completed = true;
+        di->completeCycle = cyc;
+        di->inIQ = false;
+        if (tracer_)
+            tracer_->onComplete(di->uid, cyc);
+
+        if (di->isCtrl)
+            resolveBranch(*di);
+
+        // A flush inside resolveBranch may have squashed younger events;
+        // they are dropped lazily by the findInst check above.
+    }
+
+    // Compact the issue queue: drop completed entries.
+    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
+                             [&](SeqNum s) {
+                                 const DynInst *p = findInst(s);
+                                 return !p || p->completed;
+                             }),
+              iq_.end());
+}
+
+void
+Core::resolveBranch(DynInst &di)
+{
+    const Instruction &si = di.si;
+
+    if (si.op == Opcode::Jmp || si.op == Opcode::Call)
+        return; // direct and unconditional: resolved at fetch
+
+    if (si.op == Opcode::JmpR || si.op == Opcode::Ret) {
+        std::uint32_t actual = di.step.nextIndex;
+        di.mispredicted = di.predictedTarget != actual;
+        if (di.mispredicted)
+            flushAfter(di, actual, true);
+        return;
+    }
+
+    // Conditional branch.
+    const bool actual = di.step.taken;
+    di.mispredicted = di.predictorTaken != actual;
+    const bool effectiveWrong = di.predictedTaken != actual;
+    if (!effectiveWrong) {
+        if (si.wish == WishKind::Loop &&
+            di.fetchMode == FrontEndMode::LowConf)
+            di.loopOutcome = LoopOutcome::Correct;
+        return;
+    }
+
+    const bool isWish = params_.wishEnabled && si.wish != WishKind::None;
+    if (!isWish || di.fetchMode != FrontEndMode::LowConf) {
+        // Normal branch, or a wish branch fetched in high-confidence
+        // mode: flush, exactly like a conventional misprediction.
+        flushAfter(di, di.step.nextIndex, true);
+        return;
+    }
+
+    // Low-confidence wish branch mispredictions (§3.5.4).
+    if (si.wish == WishKind::Jump || si.wish == WishKind::Join) {
+        // The predicated fall-through path is architecturally correct:
+        // no pipeline flush (the whole point of wish branches).
+        return;
+    }
+
+    // Wish loop classification.
+    if (actual) {
+        // Predicted not-taken but the loop must iterate again.
+        di.loopOutcome = LoopOutcome::EarlyExit;
+        flushAfter(di, di.step.nextIndex, true);
+    } else if (wish_.loopInstance(di.pc) != di.loopInstance) {
+        // The front end has exited this loop instance since the branch
+        // was fetched: the over-fetched iterations drain as predicated
+        // NOPs. No flush.
+        di.loopOutcome = LoopOutcome::LateExit;
+    } else {
+        // The front end is still fetching the loop body.
+        di.loopOutcome = LoopOutcome::NoExit;
+        flushAfter(di, di.step.nextIndex, true);
+    }
+}
+
+void
+Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
+                 bool recoverBpred)
+{
+    ++*cFlushes_;
+
+    // Everything in the fetch queue is younger than anything renamed.
+    if (tracer_)
+        for (const DynInst &di : fetchQueue_)
+            tracer_->onSquash(di.uid);
+    fetchQueue_.clear();
+
+    // Squash renamed µops younger than the branch, restoring the rename
+    // producer chains newest-first.
+    while (!rob_.empty() && rob_.back().seq > branch.seq) {
+        DynInst &di = rob_.back();
+        if (tracer_)
+            tracer_->onSquash(di.uid);
+        if (di.claimsReg)
+            regProducer_[di.claimedReg] = di.prevRegProducer;
+        for (unsigned s = 0; s < 2; ++s)
+            if (di.claimedPred[s] != kPredNone)
+                predProducer_[di.claimedPred[s]] =
+                    di.prevPredProducer[s];
+        rob_.pop_back();
+    }
+    nextSeq_ = branch.seq + 1;
+
+    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
+                             [&](SeqNum s) { return s > branch.seq; }),
+              iq_.end());
+    storeSeqs_.erase(std::remove_if(storeSeqs_.begin(), storeSeqs_.end(),
+                                    [&](SeqNum s) {
+                                        return s > branch.seq;
+                                    }),
+                     storeSeqs_.end());
+
+    // Roll speculative architectural state back to just after the
+    // branch executed.
+    undo_.rollbackTo(branch.undoEnd, state_);
+
+    if (recoverBpred && branch.si.op == Opcode::Br)
+        bpred_.recover(branch.pc, branch.step.taken, branch.ckpt);
+    ras_.restore(branch.rasTop);
+    wish_.onFlush();
+
+    fetchPc_ = redirectPc;
+    fetchHalted_ = false;
+    fetchStallUntil_ = now_ + 1;
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+Core::stageRetire()
+{
+    unsigned retired = 0;
+    while (retired < params_.retireWidth && !rob_.empty()) {
+        DynInst &di = rob_.front();
+        if (!di.completed || di.completeCycle > now_)
+            break;
+
+        const Instruction &si = di.si;
+
+        if (si.op == Opcode::Br) {
+            ++*cCondBranches_;
+            bpred_.train(di.pc, di.step.taken, di.ckpt);
+            if (di.mispredicted)
+                ++*cMispredicts_;
+            if (params_.wishEnabled && si.wish != WishKind::None) {
+                updateConfidence(di.pc, di.ckpt.globalHistory,
+                                 !di.mispredicted);
+                retireWishStats(di);
+            }
+        } else if (si.op == Opcode::JmpR) {
+            itc_.update(di.pc, di.ckpt.globalHistory,
+                        di.step.nextIndex);
+            if (di.mispredicted)
+                ++*cMispredicts_;
+        } else if (si.op == Opcode::Ret && di.mispredicted) {
+            ++*cMispredicts_;
+        }
+
+        if (si.isStore() && !di.memSkipped) {
+            if (di.selectPart != 1)
+                memsys_.storeAccess(di.memAddr);
+            if (!storeSeqs_.empty() && storeSeqs_.front() == di.seq)
+                storeSeqs_.erase(storeSeqs_.begin());
+        }
+
+        undo_.commitTo(di.undoEnd);
+
+        if (!di.step.qpTrue)
+            ++*cRetiredNops_;
+        ++retiredUops_;
+        ++*cRetired_;
+
+        if (tracer_)
+            tracer_->onRetire(di.uid, now_, !di.step.qpTrue,
+                              di.mispredicted);
+
+        bool halt = di.step.halted;
+        rob_.pop_front();
+        ++retired;
+        if (halt) {
+            haltRetired_ = true;
+            break;
+        }
+    }
+}
+
+void
+Core::retireWishStats(const DynInst &di)
+{
+    const char *kind = nullptr;
+    switch (di.si.wish) {
+      case WishKind::Jump: kind = "jump"; break;
+      case WishKind::Join: kind = "join"; break;
+      case WishKind::Loop: kind = "loop"; break;
+      case WishKind::None: return;
+    }
+
+    std::string base = std::string("wish.") + kind + ".";
+    bool low = di.fetchMode == FrontEndMode::LowConf;
+    base += low ? "low." : "high.";
+
+    if (di.si.wish == WishKind::Loop && low) {
+        switch (di.loopOutcome) {
+          case LoopOutcome::Correct:
+            ++stats_.counter(base + "correct");
+            break;
+          case LoopOutcome::EarlyExit:
+            ++stats_.counter(base + "early_exit");
+            break;
+          case LoopOutcome::LateExit:
+            ++stats_.counter(base + "late_exit");
+            break;
+          case LoopOutcome::NoExit:
+            ++stats_.counter(base + "no_exit");
+            break;
+          case LoopOutcome::NotApplicable:
+            // A low-confidence loop branch that resolved in the
+            // predicted direction.
+            ++stats_.counter(base + "correct");
+            break;
+        }
+        return;
+    }
+    ++stats_.counter(base +
+                     (di.mispredicted ? "mispred" : "correct"));
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+SimResult
+Core::run(const Program &prog)
+{
+    prog.validate();
+    prog_ = &prog;
+    codeSize_ = static_cast<std::uint32_t>(prog.size());
+
+    state_.reset();
+    state_.loadData(prog);
+    fetchPc_ = prog.entry();
+    fetchHalted_ = false;
+    fetchStallUntil_ = 0;
+    now_ = 0;
+    haltRetired_ = false;
+    retiredUops_ = 0;
+    fetchQueue_.clear();
+    rob_.clear();
+    iq_.clear();
+    while (!events_.empty())
+        events_.pop();
+    std::fill(std::begin(regProducer_), std::end(regProducer_), 0);
+    std::fill(std::begin(predProducer_), std::end(predProducer_), 0);
+    outstandingMisses_.clear();
+    storeSeqs_.clear();
+
+    // Warm the instruction image: our kernels fit comfortably in the
+    // 64 KB L1I, so a cold-start I-cache would only add noise.
+    memsys_.warmText(kTextBase, codeSize_ * kInstBytes);
+
+    while (!haltRetired_ && now_ < params_.maxCycles &&
+           retiredUops_ < params_.maxRetired) {
+        stageRetire();
+        if (haltRetired_)
+            break;
+        stageComplete();
+        stageIssue();
+        stageRename();
+        stageFetch();
+        if (getenv("WISC_TRACE"))
+            fprintf(stderr, "c%llu fq=%zu rob=%zu iq=%zu fpc=%u stall=%llu\n",
+                    (unsigned long long)now_, fetchQueue_.size(), rob_.size(),
+                    iq_.size(), fetchPc_, (unsigned long long)fetchStallUntil_);
+        ++now_;
+        ++*cCycles_;
+    }
+
+    SimResult res;
+    res.halted = haltRetired_;
+    res.cycles = now_;
+    res.retiredUops = retiredUops_;
+    res.resultReg = state_.readReg(4);
+    res.memFingerprint = state_.mem().fingerprint();
+
+    if (params_.checkFinalState && res.halted) {
+        Emulator ref;
+        EmuResult er = ref.run(prog);
+        wisc_assert(er.halted, "reference emulation did not halt");
+        wisc_assert(er.resultReg == res.resultReg,
+                    "timing/functional result mismatch: ",
+                    res.resultReg, " vs ", er.resultReg);
+        wisc_assert(er.memFingerprint == res.memFingerprint,
+                    "timing/functional memory mismatch");
+    }
+    return res;
+}
+
+SimResult
+simulate(const Program &prog, const SimParams &params, StatSet &stats)
+{
+    Core core(params, stats);
+    return core.run(prog);
+}
+
+} // namespace wisc

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The cycle-level out-of-order core (Table 2 baseline).
+ *
+ * Execution model: execute-at-fetch with undo-log rollback. Every
+ * fetched µop is functionally executed against the speculative
+ * architectural state the moment it is fetched, recording undo entries;
+ * a pipeline flush rolls the state back to just after the mispredicted
+ * branch. This models wrong-path execution (including wrong-path cache
+ * pollution) exactly, and lets late-exit wish-loop iterations retire as
+ * predicated NOPs precisely as §3.2 describes.
+ *
+ * Timing model: cycle-driven. Fetch follows predictions (8-wide, at most
+ * 3 conditional branches, ends at the first predicted-taken branch, one
+ * I-cache line per cycle); µops traverse a configurable-depth front end,
+ * rename into a 512-entry ROB + unified scheduler, issue oldest-first up
+ * to 8 per cycle (4 memory ports) when their producers have completed,
+ * and retire 8-wide in order. Branches resolve at execute; recovery
+ * follows the wish-branch rules of §3.5.4.
+ */
+
+#ifndef WISC_UARCH_CORE_HH_
+#define WISC_UARCH_CORE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "arch/executor.hh"
+#include "arch/state.hh"
+#include "common/stats.hh"
+#include "isa/program.hh"
+#include "uarch/bpred.hh"
+#include "uarch/cache.hh"
+#include "uarch/confidence.hh"
+#include "uarch/updown_conf.hh"
+#include "uarch/params.hh"
+#include "uarch/pipetrace.hh"
+#include "uarch/wish.hh"
+
+namespace wisc {
+
+/** Wish-loop misprediction classes (§3.2). */
+enum class LoopOutcome : std::uint8_t
+{
+    NotApplicable,
+    Correct,
+    EarlyExit,
+    LateExit,
+    NoExit,
+};
+
+/** One in-flight µop. */
+struct DynInst
+{
+    SeqNum seq = 0;
+    /** Unique id, never reused (seq numbers are reused after a flush);
+     *  completion events are validated against it. */
+    std::uint64_t uid = 0;
+    std::uint32_t pc = 0;
+    Instruction si;
+
+    // Functional (execute-at-fetch) results.
+    StepResult step;
+    UndoLog::Mark undoStart = 0;
+    UndoLog::Mark undoEnd = 0;
+
+    // Branch prediction state.
+    bool isCtrl = false;
+    bool predictorTaken = false; ///< raw predictor output
+    bool predictedTaken = false; ///< effective front-end direction
+    std::uint32_t predictedTarget = 0;
+    bool highConf = false;
+    FrontEndMode fetchMode = FrontEndMode::Normal;
+    BpredCheckpoint ckpt;
+    unsigned rasTop = 0;
+    LoopOutcome loopOutcome = LoopOutcome::NotApplicable;
+    std::uint32_t loopInstance = 0; ///< wish-loop instance at fetch
+    bool mispredicted = false; ///< raw prediction was wrong (stats)
+
+    // Select-µop expansion: 1 = compute half, 2 = select half.
+    std::uint8_t selectPart = 0;
+
+    // Predicate prediction captured at fetch (§3.5.3 buffer hit).
+    bool hasPredQp = false;
+    bool predQpVal = false;
+
+    // Dependence tracking.
+    std::vector<SeqNum> deps;
+    SeqNum prevRegProducer = 0;
+    RegIdx claimedReg = 0;
+    bool claimsReg = false;
+    SeqNum prevPredProducer[2] = {0, 0};
+    PredIdx claimedPred[2] = {kPredNone, kPredNone};
+
+    // Timing.
+    Cycle fetchCycle = 0;
+    Cycle renameReady = 0; ///< fetch cycle + front-end delay
+    bool inIQ = false;
+    bool issued = false;
+    bool completed = false;
+    Cycle completeCycle = 0;
+
+    // Memory.
+    bool isMemOp = false;
+    bool memSkipped = false; ///< predicated-off: no access
+    Addr memAddr = 0;
+    std::uint8_t memSize = 0;
+};
+
+/** Summary of one simulation run. */
+struct SimResult
+{
+    bool halted = false;
+    Cycle cycles = 0;
+    std::uint64_t retiredUops = 0;
+    Word resultReg = 0;
+    std::uint64_t memFingerprint = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retiredUops) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+class Core
+{
+  public:
+    Core(const SimParams &params, StatSet &stats);
+
+    /** Run the program to completion (Halt retired) or a safety limit.
+     *  Set the WISC_TRACE environment variable for a per-cycle occupancy
+     *  trace on stderr (debugging aid). */
+    SimResult run(const Program &prog);
+
+    /** Attach a pipeline tracer (optional; may be null). The tracer
+     *  must outlive the run. */
+    void setTracer(PipeTracer *t) { tracer_ = t; }
+
+  private:
+    // Pipeline stages (called once per cycle, back to front).
+    void stageRetire();
+    void stageComplete();
+    void stageIssue();
+    void stageRename();
+    void stageFetch();
+
+    // Helpers.
+    void fetchOne(std::uint32_t idx);
+    void processControl(DynInst &di);
+    void resolveBranch(DynInst &di);
+    void flushAfter(const DynInst &branch, std::uint32_t redirectPc,
+                    bool recoverBpred);
+    void computeDeps(DynInst &di);
+    bool depsReady(const DynInst &di) const;
+    DynInst *findInst(SeqNum seq);
+    const DynInst *findInst(SeqNum seq) const;
+    bool producerDone(SeqNum seq) const;
+    void claimProducers(DynInst &di);
+    unsigned loadLatency(const DynInst &di);
+    void retireWishStats(const DynInst &di);
+
+    SimParams params_;
+    StatSet &stats_;
+
+    // Substrates.
+    MemorySystem memsys_;
+    HybridPredictor bpred_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    IndirectTargetCache itc_;
+    JrsConfidenceEstimator conf_;
+    UpDownConfidenceEstimator udConf_;
+    WishEngine wish_;
+
+    bool estimateConfidence(std::uint32_t pc, std::uint64_t hist) const;
+    void updateConfidence(std::uint32_t pc, std::uint64_t hist,
+                          bool correct);
+
+    // Program and speculative architectural state.
+    const Program *prog_ = nullptr;
+    std::uint32_t codeSize_ = 0;
+    ArchState state_;
+    UndoLog undo_;
+
+    // Front end.
+    std::uint32_t fetchPc_ = 0;
+    bool fetchHalted_ = false;
+    Cycle fetchStallUntil_ = 0;
+    std::deque<DynInst> fetchQueue_;
+    unsigned fetchQueueCap_ = 0;
+
+    // Back end. rob_ holds renamed in-flight µops in order.
+    std::deque<DynInst> rob_;
+    SeqNum nextSeq_ = 1;
+    std::uint64_t nextUid_ = 1;
+    std::vector<SeqNum> iq_;  ///< seqnums in the scheduler
+
+    /** Completion events: (cycle, seq, uid), earliest first. */
+    struct Event
+    {
+        Cycle cycle;
+        SeqNum seq;
+        std::uint64_t uid;
+        bool operator>(const Event &o) const { return cycle > o.cycle; }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    SeqNum regProducer_[kNumIntRegs] = {};
+    SeqNum predProducer_[kNumPredRegs] = {};
+
+    PipeTracer *tracer_ = nullptr;
+
+    Cycle now_ = 0;
+    bool haltRetired_ = false;
+    /** Completion cycles of outstanding L1D misses (MSHR occupancy). */
+    std::vector<Cycle> outstandingMisses_;
+    /** Seqnums of in-flight (renamed, unretired) stores, ascending. */
+    std::vector<SeqNum> storeSeqs_;
+    std::uint64_t retiredUops_ = 0;
+
+    // Statistics handles.
+    Counter *cCycles_;
+    Counter *cRetired_;
+    Counter *cRetiredNops_;
+    Counter *cFetched_;
+    Counter *cCondBranches_;
+    Counter *cMispredicts_;
+    Counter *cFlushes_;
+};
+
+/** Convenience: simulate a program with the given configuration. */
+SimResult simulate(const Program &prog, const SimParams &params,
+                   StatSet &stats);
+
+} // namespace wisc
+
+#endif // WISC_UARCH_CORE_HH_

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulator configuration. Defaults reproduce the baseline processor of
+ * Table 2: 8-wide fetch/decode/rename/execute/retire, 512-entry reorder
+ * buffer, 64 KB 4-way 2-cycle L1 caches, 1 MB 8-way 6-cycle L2, 300-cycle
+ * memory, a 64K-entry gshare/PAs hybrid with 64K-entry selector, 4K-entry
+ * BTB, 64-entry RAS, and a 1 KB tagged 4-way 16-bit-history JRS
+ * confidence estimator. The minimum branch misprediction penalty is
+ * ~30 cycles at the default 30-stage pipeline depth.
+ */
+
+#ifndef WISC_UARCH_PARAMS_HH_
+#define WISC_UARCH_PARAMS_HH_
+
+#include <cstdint>
+
+namespace wisc {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 64 * 1024;
+    std::uint32_t ways = 4;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t hitLatency = 2;
+};
+
+/** Which confidence estimator drives wish-branch decisions. */
+enum class ConfKind : std::uint8_t
+{
+    Jrs,    ///< Table 2's tagged miss-distance-counter estimator
+    UpDown, ///< per-PC asymmetric up/down rate estimator (§7 extension)
+};
+
+/** How the rename stage handles predicated instructions (§2.1, §5.3.3). */
+enum class PredMechanism : std::uint8_t
+{
+    CStyle,    ///< C-style conditional expressions: 1 µop, 4 sources
+    SelectUop, ///< compute µop + select µop (Wang et al.)
+};
+
+/** Idealization switches used by the Figure 2/10/12 experiments. */
+struct OracleKnobs
+{
+    /** NO-DEPEND: predicate values known at rename; predicate and
+     *  old-destination dependences vanish. */
+    bool noDepend = false;
+    /** NO-FETCH: predicated-FALSE instructions cost no fetch/execute
+     *  bandwidth (unconditional compares keep their clearing writes). */
+    bool noFetch = false;
+    /** PERFECT-CBP: every branch (and indirect target) predicted with
+     *  oracle information. */
+    bool perfectCBP = false;
+    /** Perfect confidence estimation for wish branches. */
+    bool perfectConfidence = false;
+};
+
+/** Full machine configuration. */
+struct SimParams
+{
+    // Widths (Table 2: 8-wide everywhere).
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned retireWidth = 8;
+    unsigned maxCondBrPerFetch = 3; ///< fetch ends at the first taken br
+    unsigned memPortsPerCycle = 4;
+
+    // Window (Table 2: 512-entry ROB; Figure 14 sweeps 128/256/512).
+    unsigned robSize = 512;
+    unsigned iqSize = 128;  ///< unified scheduler entries
+    unsigned lsqSize = 256;
+
+    /** Pipeline depth in stages (Figure 15 sweeps 10/20/30). The
+     *  fetch-to-rename delay is depth-4, which yields a minimum branch
+     *  misprediction penalty of roughly the stage count. */
+    unsigned pipelineStages = 30;
+
+    unsigned
+    frontEndDelay() const
+    {
+        return pipelineStages > 4 ? pipelineStages - 4 : 1;
+    }
+
+    // Caches (Table 2) and memory.
+    CacheParams il1{64 * 1024, 4, 64, 2};
+    CacheParams dl1{64 * 1024, 4, 64, 2};
+    CacheParams l2{1024 * 1024, 8, 64, 6};
+    unsigned memLatency = 300;
+    /** Maximum outstanding L1D misses (MSHRs); further missing loads
+     *  wait at issue. */
+    unsigned maxOutstandingMisses = 16;
+
+    // Branch predictors (Table 2).
+    unsigned gshareEntries = 64 * 1024;
+    unsigned pasHistEntries = 4 * 1024; ///< per-address history registers
+    unsigned pasPatternEntries = 64 * 1024;
+    unsigned pasHistBits = 10;
+    unsigned selectorEntries = 64 * 1024;
+    unsigned btbSets = 1024; ///< x4 ways = 4K entries
+    unsigned btbWays = 4;
+    unsigned rasEntries = 64;
+    unsigned indirectEntries = 4 * 1024;
+
+    // JRS confidence estimator (Table 2: 1 KB, tagged 4-way). The paper
+    // quotes a 16-bit history; with a 512-entry table we found 16 bits
+    // of history dilutes contexts so badly the estimator becomes a
+    // constant, so the default uses 8 history bits and a threshold of 8
+    // (bench/ablation_confidence sweeps both).
+    unsigned confSets = 128;
+    unsigned confWays = 4;
+    unsigned confHistBits = 8;
+    unsigned confCtrBits = 4;
+    unsigned confThreshold = 8;
+    unsigned confTagBits = 8;
+    /** Policy for a confidence-table miss: true = optimistic (high
+     *  confidence; entries are allocated on a misprediction), false =
+     *  conservative (low confidence; allocate on every update). */
+    bool confMissIsHigh = false;
+
+    /** Estimator selection plus the up/down extension's knobs. */
+    ConfKind confKind = ConfKind::Jrs;
+    unsigned udConfEntries = 512;
+    unsigned udConfHistBits = 4;
+    unsigned udConfMax = 64;
+    unsigned udConfThreshold = 24;
+    unsigned udConfDownStep = 16;
+
+    // Execution latencies (cycles).
+    unsigned latAlu = 1;
+    unsigned latMul = 3;
+    unsigned latDiv = 12;
+    unsigned latBranch = 1;
+    unsigned latStoreForward = 2; ///< store-to-load forwarding
+
+    // Predication support.
+    PredMechanism predMech = PredMechanism::CStyle;
+
+    /** Hardware wish-branch support; when false the hint bits are
+     *  ignored and wish branches behave as normal branches (§3.4). */
+    bool wishEnabled = true;
+
+    /** The specialized wish-loop predictor §3.2 suggests: bias
+     *  low-confidence wish-loop predictions to overestimate the trip
+     *  count, making late exits (no flush) more common than early exits
+     *  (flush). Disable to use the plain hybrid predictor alone. */
+    bool wishLoopBias = true;
+
+    OracleKnobs oracle;
+
+    // Safety limits.
+    std::uint64_t maxCycles = 2'000'000'000ull;
+    std::uint64_t maxRetired = 2'000'000'000ull;
+
+    /** Cross-check the final architectural state against the reference
+     *  functional emulator at halt (cheap, on by default). */
+    bool checkFinalState = true;
+};
+
+} // namespace wisc
+
+#endif // WISC_UARCH_PARAMS_HH_

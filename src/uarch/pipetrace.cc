@@ -1,0 +1,126 @@
+#include "uarch/pipetrace.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace wisc {
+
+PipeRecord *
+PipeTracer::find(std::uint64_t uid)
+{
+    // Records arrive roughly in uid order; search from the back.
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+        if (it->uid == uid)
+            return &*it;
+    return nullptr;
+}
+
+void
+PipeTracer::onFetch(std::uint64_t uid, std::uint32_t pc,
+                    const Instruction &si, Cycle c)
+{
+    if (records_.size() >= capacity_)
+        return; // keep the first 'capacity_' µops of the run
+    PipeRecord r;
+    r.uid = uid;
+    r.pc = pc;
+    r.disasm = disassemble(si);
+    r.fetch = c;
+    records_.push_back(std::move(r));
+}
+
+void
+PipeTracer::onRename(std::uint64_t uid, Cycle c)
+{
+    if (PipeRecord *r = find(uid))
+        r->rename = c;
+}
+
+void
+PipeTracer::onIssue(std::uint64_t uid, Cycle c)
+{
+    if (PipeRecord *r = find(uid))
+        r->issue = c;
+}
+
+void
+PipeTracer::onComplete(std::uint64_t uid, Cycle c)
+{
+    if (PipeRecord *r = find(uid))
+        r->complete = c;
+}
+
+void
+PipeTracer::onRetire(std::uint64_t uid, Cycle c, bool predFalse,
+                     bool mispredicted)
+{
+    if (PipeRecord *r = find(uid)) {
+        r->retire = c;
+        r->predFalse = predFalse;
+        r->mispredicted = mispredicted;
+    }
+}
+
+void
+PipeTracer::onSquash(std::uint64_t uid)
+{
+    if (PipeRecord *r = find(uid)) {
+        r->squashed = true;
+        r->wrongPath = true;
+    }
+}
+
+void
+PipeTracer::render(std::ostream &os, std::size_t first,
+                   std::size_t count) const
+{
+    if (records_.empty() || first >= records_.size())
+        return;
+    std::size_t last = std::min(records_.size(), first + count);
+
+    Cycle base = records_[first].fetch;
+    Cycle horizon = base;
+    for (std::size_t i = first; i < last; ++i) {
+        const PipeRecord &r = records_[i];
+        horizon = std::max({horizon, r.fetch, r.rename, r.issue,
+                            r.complete, r.retire});
+    }
+    const unsigned width =
+        static_cast<unsigned>(std::min<Cycle>(horizon - base + 1, 120));
+
+    os << "cycle base " << base << "; F=fetch R=rename I=issue "
+          "C=complete W=retire; '~'=predicated NOP, lowercase=squashed\n";
+    for (std::size_t i = first; i < last; ++i) {
+        const PipeRecord &r = records_[i];
+        std::string lane(width, '.');
+        auto put = [&](Cycle c, char ch) {
+            if (c == 0 && ch != 'F')
+                return;
+            if (c < base)
+                return;
+            Cycle off = c - base;
+            if (off < width)
+                lane[static_cast<std::size_t>(off)] =
+                    r.squashed
+                        ? static_cast<char>(std::tolower(ch))
+                        : ch;
+        };
+        put(r.fetch, 'F');
+        put(r.rename, 'R');
+        put(r.issue, 'I');
+        put(r.complete, 'C');
+        put(r.retire, 'W');
+
+        os << std::setw(6) << r.uid << " " << std::setw(5) << r.pc
+           << " " << lane << " ";
+        if (r.predFalse)
+            os << "~ ";
+        if (r.mispredicted)
+            os << "MISP ";
+        if (r.squashed)
+            os << "SQUASHED ";
+        os << r.disasm << "\n";
+    }
+}
+
+} // namespace wisc

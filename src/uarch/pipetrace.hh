@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pipeline tracing: records the lifecycle of every µop (fetch, rename,
+ * issue, complete, retire or squash) and renders a text pipeline
+ * diagram — the classic F-R-I-C-W view — for inspection and debugging.
+ *
+ * Attach a tracer to a Core via SimParams-independent setTracer(); the
+ * wisc-run CLI exposes it as --pipeview N.
+ */
+
+#ifndef WISC_UARCH_PIPETRACE_HH_
+#define WISC_UARCH_PIPETRACE_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace wisc {
+
+/** Lifecycle timestamps of one dynamic µop. */
+struct PipeRecord
+{
+    std::uint64_t uid = 0;
+    std::uint32_t pc = 0;
+    std::string disasm;
+    Cycle fetch = 0;
+    Cycle rename = 0;   ///< 0 = never renamed
+    Cycle issue = 0;    ///< 0 = never issued
+    Cycle complete = 0; ///< 0 = never completed
+    Cycle retire = 0;   ///< 0 = never retired
+    bool squashed = false;
+    bool wrongPath = false; ///< squashed before retirement
+    bool predFalse = false; ///< retired as a predicated NOP
+    bool mispredicted = false;
+};
+
+/**
+ * Collects the first 'capacity' µops of the run (later fetches are
+ * ignored) and renders them as a timeline.
+ */
+class PipeTracer
+{
+  public:
+    explicit PipeTracer(std::size_t capacity = 4096)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Core hooks. */
+    void onFetch(std::uint64_t uid, std::uint32_t pc,
+                 const Instruction &si, Cycle c);
+    void onRename(std::uint64_t uid, Cycle c);
+    void onIssue(std::uint64_t uid, Cycle c);
+    void onComplete(std::uint64_t uid, Cycle c);
+    void onRetire(std::uint64_t uid, Cycle c, bool predFalse,
+                  bool mispredicted);
+    void onSquash(std::uint64_t uid);
+
+    const std::vector<PipeRecord> &records() const { return records_; }
+
+    /**
+     * Render records [first, first+count) as a text pipeline diagram:
+     * one row per µop, columns are cycles relative to the window start.
+     *   F fetch   R rename   I issue   C complete   W retire (writeback)
+     *   lowercase row = squashed (wrong path)   ~ = predicated NOP
+     */
+    void render(std::ostream &os, std::size_t first = 0,
+                std::size_t count = 64) const;
+
+  private:
+    PipeRecord *find(std::uint64_t uid);
+
+    std::size_t capacity_;
+    std::vector<PipeRecord> records_;
+};
+
+} // namespace wisc
+
+#endif // WISC_UARCH_PIPETRACE_HH_

@@ -1,0 +1,216 @@
+#include "uarch/wish.hh"
+
+#include "common/log.hh"
+
+namespace wisc {
+
+const char *
+frontEndModeName(FrontEndMode m)
+{
+    switch (m) {
+      case FrontEndMode::Normal:   return "normal";
+      case FrontEndMode::HighConf: return "high-confidence";
+      case FrontEndMode::LowConf:  return "low-confidence";
+    }
+    return "?";
+}
+
+WishEngine::WishEngine(StatSet &stats, bool loopBias)
+    : loopBias_(loopBias)
+{
+    lowEntries_ = &stats.counter("wish.low_conf_entries",
+                                 "times the front end entered "
+                                 "low-confidence-mode");
+    highEntries_ = &stats.counter("wish.high_conf_entries",
+                                  "times the front end entered "
+                                  "high-confidence-mode");
+    biasOverrides_ = &stats.counter("wish.loop_bias_overrides",
+                                    "loop predictions forced taken by "
+                                    "the overestimating predictor");
+}
+
+void
+WishEngine::onInstructionFetched(std::uint32_t pc)
+{
+    // "Target fetched" exit transition (Figure 8): the target of the
+    // wish jump/join that caused the mode entry has been fetched.
+    if (mode_ != FrontEndMode::Normal && !lowConfFromLoop_ &&
+        pc == pendingTarget_) {
+        mode_ = FrontEndMode::Normal;
+    }
+}
+
+void
+WishEngine::enterLowConf(std::uint32_t pc, WishKind kind,
+                         std::uint32_t pendingTarget)
+{
+    mode_ = FrontEndMode::LowConf;
+    lowConfFromLoop_ = (kind == WishKind::Loop);
+    pendingTarget_ = pendingTarget;
+    ++*lowEntries_;
+    (void)pc;
+}
+
+void
+WishEngine::armPredicateBuffer(PredIdx srcPred, bool value)
+{
+    if (srcPred == 0)
+        return;
+    predBuffer_[srcPred] = value;
+    auto it = complementOf_.find(srcPred);
+    if (it != complementOf_.end() && it->second != kPredNone)
+        predBuffer_[it->second] = !value;
+}
+
+WishDecision
+WishEngine::onWishBranch(std::uint32_t pc, WishKind kind,
+                         bool predictorTaken, bool highConf,
+                         std::uint32_t takenTarget)
+{
+    WishDecision d;
+    d.highConfidence = highConf;
+
+    if (kind == WishKind::Loop) {
+        // Wish loops are always predicted by the loop/branch predictor;
+        // the mode only controls whether the predicate is predicted and
+        // how a misprediction recovers (§3.2).
+        //
+        // When the prediction is low-confidence, the specialized loop
+        // predictor of §3.2 biases it to *overestimate* the trip count:
+        // keep predicting taken until the decaying maximum observed trip
+        // is reached. Overshooting turns would-be early exits (pipeline
+        // flushes) into late exits (predicated NOPs, no flush).
+        LoopTripState &lt = loopTrips_[pc];
+        ++lt.fetchIter;
+        // Keep predicting taken until slightly past the running average
+        // trip count: a small overshoot converts early exits (flush)
+        // into late exits (cheap predicated NOPs) without fetching long
+        // junk tails when the trip distribution is skewed.
+        const std::uint32_t target = lt.ewmaTrip4 / 4 + 2;
+        if (!predictorTaken) {
+            // Learn from the hybrid's *first* natural exit this
+            // instance; recording suppressed re-exits would feed the
+            // overshoot back into the average and make it creep.
+            if (!lt.recordedThisInstance) {
+                lt.ewmaTrip4 += lt.fetchIter - lt.ewmaTrip4 / 4;
+                lt.recordedThisInstance = true;
+            }
+            if (loopBias_ && !highConf &&
+                mode_ != FrontEndMode::HighConf &&
+                lt.fetchIter < target) {
+                predictorTaken = true;
+                ++*biasOverrides_;
+            } else {
+                lt.fetchIter = 0;
+                lt.recordedThisInstance = false;
+            }
+        }
+        loopLastPred_[pc] = predictorTaken;
+        if (!predictorTaken)
+            ++loopInstanceOf_[pc]; // front end exits this loop instance
+        if (mode_ == FrontEndMode::LowConf) {
+            // Stay in low-confidence-mode until the loop is exited.
+            d.effectiveTaken = predictorTaken;
+            d.branchMode = FrontEndMode::LowConf;
+            if (!predictorTaken && lowConfFromLoop_)
+                mode_ = FrontEndMode::Normal; // loop exited by front end
+            return d;
+        }
+        if (highConf) {
+            mode_ = FrontEndMode::HighConf;
+            lowConfFromLoop_ = true; // exit on loop exit
+            ++*highEntries_;
+            d.effectiveTaken = predictorTaken;
+            d.branchMode = FrontEndMode::HighConf;
+            // Predicate predicted: TRUE when the loop is predicted to
+            // iterate again.
+            armPredicateBuffer(branchPred_, predictorTaken);
+            if (!predictorTaken)
+                mode_ = FrontEndMode::Normal; // immediately exited
+            return d;
+        }
+        enterLowConf(pc, kind, 0xffffffff);
+        d.effectiveTaken = predictorTaken;
+        d.branchMode = FrontEndMode::LowConf;
+        if (!predictorTaken)
+            mode_ = FrontEndMode::Normal;
+        return d;
+    }
+
+    // Wish jumps and joins.
+    if (mode_ == FrontEndMode::LowConf) {
+        // Table 1: every wish join after a low-confidence estimation is
+        // predicted not-taken.
+        d.effectiveTaken = false;
+        d.branchMode = FrontEndMode::LowConf;
+        return d;
+    }
+
+    if (highConf) {
+        mode_ = FrontEndMode::HighConf;
+        lowConfFromLoop_ = false;
+        pendingTarget_ = takenTarget;
+        ++*highEntries_;
+        d.effectiveTaken = predictorTaken;
+        d.branchMode = FrontEndMode::HighConf;
+        // §3.5.3: predict the branch's source predicate so predicated
+        // instructions need not wait for it.
+        armPredicateBuffer(branchPred_, predictorTaken);
+        return d;
+    }
+
+    enterLowConf(pc, kind, takenTarget);
+    d.effectiveTaken = false; // low confidence: force not-taken
+    d.branchMode = FrontEndMode::LowConf;
+    return d;
+}
+
+void
+WishEngine::onFlush()
+{
+    mode_ = FrontEndMode::Normal;
+    lowConfFromLoop_ = false;
+    pendingTarget_ = 0xffffffff;
+    predBuffer_.clear();
+}
+
+void
+WishEngine::noteCompare(PredIdx pd, PredIdx pd2)
+{
+    if (pd != kPredNone && pd2 != kPredNone) {
+        complementOf_[pd] = pd2;
+        complementOf_[pd2] = pd;
+    }
+}
+
+void
+WishEngine::notePredWrite(PredIdx pd)
+{
+    if (pd != kPredNone)
+        predBuffer_.erase(pd);
+}
+
+std::optional<bool>
+WishEngine::predictedPredicate(PredIdx p) const
+{
+    auto it = predBuffer_.find(p);
+    if (it == predBuffer_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+WishEngine::lastLoopPrediction(std::uint32_t pc) const
+{
+    auto it = loopLastPred_.find(pc);
+    return it != loopLastPred_.end() && it->second;
+}
+
+std::uint32_t
+WishEngine::loopInstance(std::uint32_t pc) const
+{
+    auto it = loopInstanceOf_.find(pc);
+    return it == loopInstanceOf_.end() ? 0 : it->second;
+}
+
+} // namespace wisc

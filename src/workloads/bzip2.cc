@@ -1,0 +1,138 @@
+/**
+ * @file
+ * bzip2 analogue: block-sort compare-and-swap sweeps.
+ *
+ * Behavioral profile reproduced: an element-comparison branch whose
+ * predictability depends on how sorted the data already is — the
+ * input-sensitivity that makes predicated bzip2 16% slower on one input
+ * and marginally faster on another (Figure 1) — plus a run-detection
+ * loop (wish loop). The swap arm stores through, so the array gets more
+ * sorted as the kernel runs, drifting the branch bias like a real sort.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kBuf = kDataBase; // 8192 bytes
+constexpr int kBufLen = 8192;
+constexpr int kMaxRun = 11;
+
+} // namespace
+
+IrFunction
+buildBzip2()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = buf, r14 = lcg.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.li(12, static_cast<Word>(kBuf));
+    b.li(14, 555);
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.muli(14, 14, 1103515245);
+        b.addi(14, 14, 12345);
+        b.shri(30, 14, 16);
+        b.andi(30, 30, kBufLen - 2);
+        b.add(31, 30, 12);
+        b.ld1(20, 31, 0); // x
+        b.ld1(21, 31, 1); // y
+
+        // Out-of-order pair? swap (drifts toward sorted).
+        b.cmp(Opcode::CmpGt, 1, 2, 20, 21);
+        b.ifThenElse(
+            1, 2,
+            [&] { // swap
+                b.st1(21, 31, 0);
+                b.st1(20, 31, 1);
+                b.add(4, 4, 20);
+                b.xori(4, 4, 0x13);
+                b.addi(4, 4, 1);
+                b.sub(22, 20, 21);
+                b.add(4, 4, 22);
+            },
+            [&] { // in order
+                b.add(4, 4, 21);
+                b.xori(4, 4, 0x29);
+                b.addi(4, 4, 2);
+                b.sub(22, 21, 20);
+                b.add(4, 4, 22);
+                b.addi(4, 4, 1);
+            });
+
+        // Run detection (1..kMaxRun trips).
+        b.li(23, 1);
+        b.doWhileLoop(3, [&] {
+            b.add(32, 30, 23);
+            b.andi(32, 32, kBufLen - 1);
+            b.add(32, 32, 12);
+            b.ld1(33, 32, 0);
+            b.xor_(34, 33, 20);
+            b.addi(23, 23, 1);
+            b.cmpi(Opcode::CmpEqI, 3, 0, 34, 0);
+        });
+        b.add(4, 4, 23);
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputBzip2(InputSet s)
+{
+    Rng rng(s == InputSet::A ? 91 : s == InputSet::B ? 92 : 93);
+    std::vector<std::uint8_t> buf(kBufLen);
+
+    // A: random bytes (hard compares, short runs).
+    // B: blockwise sorted-ish. C: almost sorted (easy compares).
+    int prev = 0;
+    int run = 1;
+    for (int i = 0; i < kBufLen; ++i) {
+        int v;
+        switch (s) {
+          case InputSet::A:
+            v = static_cast<int>(rng.below(200)) + 1;
+            break;
+          case InputSet::B:
+            v = ((i / 64) * 3 + static_cast<int>(rng.below(24))) % 200 + 1;
+            break;
+          case InputSet::C:
+          default:
+            // Nearly sorted with mostly-distinct values, so equal-byte
+            // runs stay short even after the kernel finishes sorting.
+            v = (i / 4 + static_cast<int>(rng.below(2))) % 250 + 1;
+            break;
+        }
+        // Cap equal-byte runs so the run loop terminates.
+        if (i > 0 && v == prev) {
+            if (++run >= kMaxRun) {
+                v = (v % 200) + 2;
+                run = 1;
+            }
+        } else {
+            run = 1;
+        }
+        buf[i] = static_cast<std::uint8_t>(v);
+        prev = v;
+    }
+
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {7000}});
+    segs.push_back({kBuf, packBytes(buf)});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

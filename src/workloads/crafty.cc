@@ -1,0 +1,120 @@
+/**
+ * @file
+ * crafty analogue: bitboard evaluation.
+ *
+ * Behavioral profile reproduced: register-heavy 64-bit bit manipulation
+ * with high ILP, a moderately biased branch on extracted board bits
+ * (bias controlled by the input's bit density), and a small nested
+ * hammock that every binary predicates (its arm is under the N=5 wish
+ * threshold). Cache-resident: crafty is core-bound, not memory-bound.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kBoards = kDataBase; // 1024 words
+constexpr int kNumBoards = 1024;
+
+} // namespace
+
+IrFunction
+buildCrafty()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = boards, r16 = nested-test mask.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.ld(16, 36, 8);
+    b.li(12, static_cast<Word>(kBoards));
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.andi(30, 10, kNumBoards - 1);
+        b.shli(30, 30, 3);
+        b.add(30, 30, 12);
+        b.ld(20, 30, 0); // board
+
+        // Parallel-prefix style mixing (high ILP straight-line code).
+        b.shri(21, 20, 32);
+        b.xor_(21, 21, 20);
+        b.shri(22, 21, 16);
+        b.xor_(22, 22, 21);
+        b.shri(23, 22, 8);
+        b.xor_(23, 23, 22);
+        b.andi(24, 23, 255);
+
+        // Attack-pattern test: bias follows the input's bit density.
+        b.andi(25, 20, 0x88);
+        b.cmpi(Opcode::CmpEqI, 1, 2, 25, 0);
+        b.ifThenElse(
+            1, 2,
+            [&] {
+                b.shli(26, 24, 2);
+                b.add(4, 4, 26);
+                b.xor_(4, 4, 21);
+                b.addi(4, 4, 9);
+                b.muli(27, 24, 7);
+                b.add(4, 4, 27);
+            },
+            [&] {
+                b.shri(26, 24, 1);
+                b.add(4, 4, 26);
+                b.xor_(4, 4, 22);
+                b.addi(4, 4, 5);
+                b.muli(27, 24, 3);
+                b.sub(4, 4, 27);
+            });
+
+        // Small nested test: always predicated (arm of 3 < N).
+        b.and_(28, 20, 16);
+        b.cmpi(Opcode::CmpNeI, 3, 4, 28, 0);
+        b.ifThen(3, 4, [&] {
+            b.addi(4, 4, 1);
+            b.xori(4, 4, 0x0f);
+            b.addi(4, 4, 2);
+        });
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputCrafty(InputSet s)
+{
+    // Bit density controls the (board & 0x88) == 0 bias.
+    double bitProb;
+    std::uint64_t seed;
+    switch (s) {
+      case InputSet::A: bitProb = 0.50; seed = 51; break;
+      case InputSet::B: bitProb = 0.25; seed = 52; break;
+      case InputSet::C: bitProb = 0.06; seed = 53; break;
+      default: bitProb = 0.3; seed = 1; break;
+    }
+    Rng rng(seed);
+    std::vector<Word> boards(kNumBoards, 0);
+    for (Word &w : boards) {
+        UWord v = 0;
+        for (int bit = 0; bit < 64; ++bit)
+            if (rng.chance(bitProb))
+                v |= UWord(1) << bit;
+        w = static_cast<Word>(v);
+    }
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {9000, 0x700}});
+    segs.push_back({kBoards, boards});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * gzip analogue: LZ-style run detection over a byte stream.
+ *
+ * Behavioral profile reproduced: a data-dependent match/literal branch
+ * whose predictability tracks the compressibility of the input, plus a
+ * short variable-trip run-measuring loop (a natural wish loop). Input A
+ * is near-incompressible (hard branch, short runs), input C is highly
+ * repetitive (easy branch, long runs), B sits between.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kSrc = kDataBase;        // 4096 bytes
+constexpr int kSrcLen = 4096;
+constexpr int kMaxRun = 11;             // generator-enforced bound
+
+std::vector<std::uint8_t>
+makeStream(double repeatProb, unsigned alphabet, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> bytes(kSrcLen);
+    std::uint8_t cur = 1;
+    int run = 1;
+    for (int i = 0; i < kSrcLen; ++i) {
+        if (i == 0 || run >= kMaxRun || !rng.chance(repeatProb)) {
+            std::uint8_t next;
+            do {
+                next = static_cast<std::uint8_t>(1 + rng.below(alphabet));
+            } while (next == cur);
+            cur = next;
+            run = 1;
+        } else {
+            ++run;
+        }
+        bytes[i] = cur;
+    }
+    return bytes;
+}
+
+} // namespace
+
+IrFunction
+buildGzip()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = src, r13 = out, r20 = pos, r21 = len,
+    // r22 = current byte, r4 = checksum.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.li(12, static_cast<Word>(kSrc));
+    b.li(13, static_cast<Word>(kOutBase));
+    b.li(10, 0);
+    b.li(4, 0);
+    b.li(20, 0);
+
+    b.doWhileLoop(7, [&] {
+        // Pseudo-random walk over the stream.
+        b.addi(20, 20, 17);
+        b.andi(20, 20, kSrcLen - 1);
+        b.add(30, 12, 20);
+        b.ld1(22, 30, 0);
+
+        // Measure the run of equal bytes (trip count 1..kMaxRun).
+        b.li(21, 1);
+        b.doWhileLoop(3, [&] {
+            b.add(30, 20, 21);
+            b.andi(30, 30, kSrcLen - 1);
+            b.add(30, 30, 12);
+            b.ld1(31, 30, 0);
+            b.xor_(32, 31, 22);
+            b.addi(21, 21, 1);
+            b.cmpi(Opcode::CmpEqI, 3, 0, 32, 0);
+        });
+
+        // Match (run >= 3) vs literal: the compressibility branch.
+        b.cmpi(Opcode::CmpGeI, 1, 2, 21, 3);
+        b.ifThenElse(
+            1, 2,
+            [&] { // match
+                b.muli(33, 21, 3);
+                b.add(4, 4, 33);
+                b.xor_(4, 4, 20);
+                b.addi(4, 4, 7);
+                b.shli(33, 21, 2);
+                b.add(4, 4, 33);
+            },
+            [&] { // literal
+                b.add(4, 4, 22);
+                b.muli(33, 22, 5);
+                b.add(4, 4, 33);
+                b.xori(4, 4, 0x55);
+                b.addi(4, 4, 1);
+                b.addi(4, 4, 2);
+            });
+
+        // Emit one output byte.
+        b.andi(34, 4, 255);
+        b.add(35, 13, 20);
+        b.st1(34, 35, 0);
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputGzip(InputSet s)
+{
+    double repeat;
+    unsigned alphabet;
+    std::uint64_t seed;
+    switch (s) {
+      case InputSet::A: repeat = 0.55; alphabet = 24; seed = 11; break;
+      case InputSet::B: repeat = 0.70; alphabet = 12; seed = 22; break;
+      case InputSet::C: repeat = 0.88; alphabet = 4;  seed = 33; break;
+      default: repeat = 0.5; alphabet = 8; seed = 1; break;
+    }
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {6000}}); // n
+    segs.push_back({kSrc, packBytes(makeStream(repeat, alphabet, seed))});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

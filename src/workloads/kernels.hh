@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Internal declarations: one builder and one input generator per kernel.
+ * See each kernel's .cc for the behavioral profile it reproduces.
+ */
+
+#ifndef WISC_WORKLOADS_KERNELS_HH_
+#define WISC_WORKLOADS_KERNELS_HH_
+
+#include "workloads/workload.hh"
+
+namespace wisc {
+namespace kernels {
+
+IrFunction buildGzip();
+std::vector<DataSegment> inputGzip(InputSet s);
+
+IrFunction buildVpr();
+std::vector<DataSegment> inputVpr(InputSet s);
+
+IrFunction buildMcf();
+std::vector<DataSegment> inputMcf(InputSet s);
+
+IrFunction buildCrafty();
+std::vector<DataSegment> inputCrafty(InputSet s);
+
+IrFunction buildParser();
+std::vector<DataSegment> inputParser(InputSet s);
+
+IrFunction buildGap();
+std::vector<DataSegment> inputGap(InputSet s);
+
+IrFunction buildVortex();
+std::vector<DataSegment> inputVortex(InputSet s);
+
+IrFunction buildBzip2();
+std::vector<DataSegment> inputBzip2(InputSet s);
+
+IrFunction buildTwolf();
+std::vector<DataSegment> inputTwolf(InputSet s);
+
+/** Pack a byte array into the 8-byte words a DataSegment holds. */
+std::vector<Word> packBytes(const std::vector<std::uint8_t> &bytes);
+
+} // namespace kernels
+} // namespace wisc
+
+#endif // WISC_WORKLOADS_KERNELS_HH_

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * mcf analogue: network-simplex tree traversal.
+ *
+ * Behavioral profile reproduced: a pointer chase through a structure far
+ * larger than the L2 where the *next pointer is selected by a
+ * data-dependent condition*. With branch prediction the chase load
+ * issues speculatively; if-converted code serializes it behind the
+ * value load and compare — §5.1's "serialization of many critical load
+ * instructions", which makes BASE-MAX catastrophically slow on mcf.
+ * The selection bias is the input: input A is heavily biased (almost
+ * always correctly predicted, so predication only hurts), input C is
+ * nearly random.
+ *
+ * Node layout at base + i*stride: pointers at +0/+8, the value at +64
+ * (a different cache line, as in mcf where the orientation field and
+ * arc pointers live in different structures). One pass over 3000 nodes:
+ * every node is a compulsory miss, like the always-thrashing real mcf.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kNodes = 0x200000;
+constexpr int kNumNodes = 3000;
+constexpr Word kStride = 136; // pointers and value on adjacent lines
+
+} // namespace
+
+IrFunction
+buildMcf()
+{
+    KernelBuilder b;
+
+    // r6 = node pointer, r10 = pass counter, r11 = passes, r12 = head.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.li(12, static_cast<Word>(kNodes));
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.addi(6, 12, 0); // restart at the head
+        b.doWhileLoop(5, [&] {
+            b.ld(7, 6, 64); // value (misses; a different line)
+            b.cmpi(Opcode::CmpGtI, 1, 2, 7, 0);
+            b.ifThenElse(
+                1, 2,
+                [&] { // common direction
+                    b.ld(6, 6, 0);
+                    b.addi(4, 4, 1);
+                    b.add(4, 4, 7);
+                    b.xori(4, 4, 1);
+                    b.addi(4, 4, 3);
+                    b.shli(30, 7, 1);
+                },
+                [&] { // rare direction
+                    b.ld(6, 6, 8);
+                    b.addi(4, 4, 2);
+                    b.sub(4, 4, 7);
+                    b.xori(4, 4, 2);
+                    b.addi(4, 4, 5);
+                    b.shli(31, 7, 1);
+                });
+            b.cmpi(Opcode::CmpNeI, 5, 0, 6, 0);
+        });
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputMcf(InputSet s)
+{
+    double rareProb;
+    std::uint64_t seed;
+    Word passes;
+    switch (s) {
+      // A is the paper's "reduced input": the selection is almost always
+      // predicted correctly, so predication only adds serialization.
+      // B (the train input) is hard enough that the profile-driven
+      // BASE-DEF compiler chooses to predicate — the compile-time "bad
+      // decision" wish branches exist to undo.
+      case InputSet::A: rareProb = 0.01; seed = 41; passes = 1; break;
+      case InputSet::B: rareProb = 0.10; seed = 42; passes = 1; break;
+      case InputSet::C: rareProb = 0.45; seed = 43; passes = 1; break;
+      default: rareProb = 0.1; seed = 1; passes = 1; break;
+    }
+    Rng rng(seed);
+
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {passes}});
+    for (int i = 0; i < kNumNodes; ++i) {
+        Addr a = kNodes + static_cast<Addr>(i) * kStride;
+        Word next = (i + 1 < kNumNodes)
+                        ? static_cast<Word>(a + kStride)
+                        : 0;
+        Word val = rng.chance(rareProb) ? -(1 + rng.range(0, 20))
+                                        : 1 + rng.range(0, 20);
+        segs.push_back({a, {next, next}});
+        segs.push_back({a + 64, {val}});
+    }
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

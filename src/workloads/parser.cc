@@ -1,0 +1,121 @@
+/**
+ * @file
+ * parser analogue: token scanning with variable-length words.
+ *
+ * Behavioral profile reproduced: a short inner loop whose trip count is
+ * the current token's length — a loop branch that a global predictor
+ * cannot capture when lengths vary (input A), making it the prime wish
+ * loop beneficiary (late exits). A hash-test hammock supplies the
+ * forward wish branches. Input C has constant-length tokens (the loop
+ * becomes perfectly predictable).
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kLens = kDataBase;            // 4096 words
+constexpr Addr kChars = kDataBase + 0x10000; // 4096 bytes
+constexpr int kNumToks = 4096;
+
+} // namespace
+
+IrFunction
+buildParser()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = lens, r13 = chars, r4 = checksum.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.li(12, static_cast<Word>(kLens));
+    b.li(13, static_cast<Word>(kChars));
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.andi(30, 10, kNumToks - 1);
+        b.shli(31, 30, 3);
+        b.add(31, 31, 12);
+        b.ld(20, 31, 0); // len (1..12)
+
+        // Scan the token: trip count = len.
+        b.li(21, 0);  // j
+        b.li(22, 0);  // h
+        b.doWhileLoop(3, [&] {
+            b.add(32, 30, 21);
+            b.andi(32, 32, kNumToks - 1);
+            b.add(32, 32, 13);
+            b.ld1(33, 32, 0);
+            b.add(22, 22, 33);
+            b.addi(21, 21, 1);
+            b.cmp(Opcode::CmpLt, 3, 0, 21, 20);
+        });
+
+        // Dictionary-hash test.
+        b.muli(22, 22, 31);
+        b.add(22, 22, 20);
+        b.andi(34, 22, 7);
+        b.cmpi(Opcode::CmpEqI, 1, 2, 34, 0);
+        b.ifThenElse(
+            1, 2,
+            [&] { // hit
+                b.add(4, 4, 22);
+                b.xori(4, 4, 0x11);
+                b.addi(4, 4, 3);
+                b.shli(35, 22, 1);
+                b.add(4, 4, 35);
+                b.addi(4, 4, 1);
+            },
+            [&] { // miss
+                b.sub(4, 4, 20);
+                b.xori(4, 4, 0x22);
+                b.addi(4, 4, 5);
+                b.shri(35, 22, 2);
+                b.add(4, 4, 35);
+                b.addi(4, 4, 2);
+            });
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputParser(InputSet s)
+{
+    Rng rng(s == InputSet::A ? 61 : s == InputSet::B ? 62 : 63);
+    std::vector<Word> lens(kNumToks);
+    for (Word &l : lens) {
+        switch (s) {
+          case InputSet::A: // uniform 1..12: unpredictable exits
+            l = rng.range(1, 12);
+            break;
+          case InputSet::B: // clustered 3..6
+            l = 3 + rng.range(0, 3);
+            break;
+          case InputSet::C: // constant: perfectly predictable
+            l = 4;
+            break;
+        }
+    }
+    std::vector<std::uint8_t> chars(kNumToks);
+    for (auto &c : chars)
+        c = static_cast<std::uint8_t>(rng.below(26) + 'a');
+
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {7000}});
+    segs.push_back({kLens, lens});
+    segs.push_back({kChars, packBytes(chars)});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * twolf analogue: standard-cell placement cost evaluation.
+ *
+ * Behavioral profile reproduced: a near-balanced cost comparison between
+ * two candidate positions (hard to predict when costs are close — the
+ * input's bias parameter moves the balance), arms containing multiplies
+ * and a divide (so predicate dependences are expensive), and a
+ * predictable boundary check that stays predicated. twolf shows the
+ * largest wish-branch win over predication in Figure 10.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kGrid = kDataBase; // 4096 words
+constexpr int kGridLen = 4096;
+
+} // namespace
+
+IrFunction
+buildTwolf()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = grid, r14 = lcg, r16 = bias.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.ld(16, 36, 8);
+    b.li(12, static_cast<Word>(kGrid));
+    b.li(14, 31337);
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.muli(14, 14, 69069);
+        b.addi(14, 14, 5);
+        b.shri(30, 14, 16);
+        b.andi(30, 30, kGridLen - 1);
+
+        b.shli(31, 30, 3);
+        b.add(31, 31, 12);
+        b.ld(20, 31, 0); // cost1
+        b.addi(32, 30, 64);
+        b.andi(32, 32, kGridLen - 1);
+        b.shli(32, 32, 3);
+        b.add(32, 32, 12);
+        b.ld(21, 32, 0); // cost2
+
+        // Wire-cost comparison: near-balanced unless biased.
+        b.muli(22, 20, 3);
+        b.add(22, 22, 16);
+        b.muli(23, 21, 3);
+        b.cmp(Opcode::CmpLt, 1, 2, 22, 23);
+        b.ifThenElse(
+            1, 2,
+            [&] { // accept the move
+                b.sub(24, 23, 22);
+                b.muli(25, 24, 5);
+                b.add(4, 4, 25);
+                b.li(26, 7);
+                b.div(27, 24, 26);
+                b.add(4, 4, 27);
+                b.xori(4, 4, 0x61);
+                b.addi(4, 4, 1);
+            },
+            [&] { // reject
+                b.sub(24, 22, 23);
+                b.muli(25, 24, 2);
+                b.add(4, 4, 25);
+                b.li(26, 5);
+                b.div(27, 24, 26);
+                b.sub(4, 4, 27);
+                b.xori(4, 4, 0x62);
+                b.addi(4, 4, 2);
+            });
+
+        // Row-boundary check: rare, predictable, stays predicated.
+        b.andi(28, 30, 63);
+        b.cmpi(Opcode::CmpLtI, 3, 5, 28, 2);
+        b.ifThen(3, 5, [&] {
+            b.addi(4, 4, 9);
+            b.xori(4, 4, 0x70);
+        });
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputTwolf(InputSet s)
+{
+    Word bias;
+    std::uint64_t seed;
+    switch (s) {
+      case InputSet::A: bias = 0;    seed = 95; break; // 50/50: hard
+      case InputSet::B: bias = 150;  seed = 96; break;
+      case InputSet::C: bias = 900;  seed = 97; break; // strongly biased
+      default: bias = 0; seed = 1; break;
+    }
+    Rng rng(seed);
+    std::vector<Word> grid(kGridLen);
+    for (Word &g : grid)
+        g = rng.range(0, 200);
+
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {7000, bias}});
+    segs.push_back({kGrid, grid});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

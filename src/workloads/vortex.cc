@@ -1,0 +1,149 @@
+/**
+ * @file
+ * vortex analogue: object-database record validation and dispatch.
+ *
+ * Behavioral profile reproduced: long chains of *extremely* predictable
+ * branches (status checks that almost never fail, a type dispatch
+ * dominated by one class — Table 4 shows vortex at 0.8 mispredicts per
+ * 1K µops), so predication is nearly pure overhead and wish branches
+ * should recover it. The nested type dispatch builds the Figure-6-style
+ * multi-level region. Working set is L1-resident.
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kRecs = kDataBase; // 1024 records x 4 words
+constexpr int kNumRecs = 1024;
+
+} // namespace
+
+IrFunction
+buildVortex()
+{
+    KernelBuilder b;
+
+    // Record: [type, a, b, status]. r10 = i, r11 = n, r12 = recs.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.li(12, static_cast<Word>(kRecs));
+    b.li(13, static_cast<Word>(kOutBase));
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.andi(30, 10, kNumRecs - 1);
+        b.shli(31, 30, 5);
+        b.add(31, 31, 12);
+        b.ld(20, 31, 0);  // type
+        b.ld(21, 31, 8);  // a
+        b.ld(22, 31, 24); // status
+
+        // Validity check: ~99.9% pass. The arm computes into a private
+        // temporary so predicated execution does not serialize through
+        // the checksum accumulator.
+        b.cmpi(Opcode::CmpEqI, 1, 2, 22, 0);
+        b.li(40, 0);
+        b.ifThen(1, 2, [&] {
+            b.add(40, 21, 30);
+            b.xori(40, 40, 0x5);
+            b.addi(40, 40, 1);
+            b.shli(32, 21, 1);
+            b.add(40, 40, 32);
+            b.addi(40, 40, 2);
+        });
+        b.add(4, 4, 40);
+
+        // Type dispatch: type 0 dominates; 1 and 2 nest in the else arm
+        // (the complex-control-flow shape of Figure 6).
+        // Each arm owns a zero-initialized temporary so the predicated
+        // arms do not chain through a shared destination register.
+        b.cmpi(Opcode::CmpEqI, 3, 4, 20, 0);
+        b.li(41, 0);
+        b.li(42, 0);
+        b.li(43, 0);
+        b.ifThenElse(
+            3, 4,
+            [&] { // type 0 (common)
+                b.muli(41, 21, 3);
+                b.addi(41, 41, 7);
+                b.xori(41, 41, 0x21);
+                b.shri(34, 21, 2);
+                b.add(41, 41, 34);
+                b.addi(41, 41, 1);
+            },
+            [&] { // rare types
+                b.cmpi(Opcode::CmpEqI, 5, 6, 20, 1);
+                b.ifThenElse(
+                    5, 6,
+                    [&] { // type 1
+                        b.muli(42, 21, 5);
+                        b.addi(42, 42, 11);
+                        b.xori(42, 42, 0x31);
+                        b.shri(34, 21, 1);
+                        b.add(42, 42, 34);
+                        b.addi(42, 42, 2);
+                    },
+                    [&] { // type 2
+                        b.muli(43, 21, 7);
+                        b.addi(43, 43, 13);
+                        b.xori(43, 43, 0x41);
+                        b.shli(34, 21, 2);
+                        b.add(43, 43, 34);
+                        b.addi(43, 43, 3);
+                    });
+            });
+        b.add(4, 4, 41);
+        b.add(4, 4, 42);
+        b.add(4, 4, 43);
+
+        // Commit the transaction result.
+        b.andi(35, 30, 511);
+        b.shli(35, 35, 3);
+        b.add(35, 35, 13);
+        b.st(4, 35, 0);
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputVortex(InputSet s)
+{
+    double failProb, rareProb;
+    std::uint64_t seed;
+    switch (s) {
+      case InputSet::A: failProb = 0.001; rareProb = 0.04; seed = 81; break;
+      case InputSet::B: failProb = 0.005; rareProb = 0.10; seed = 82; break;
+      case InputSet::C: failProb = 0.02;  rareProb = 0.30; seed = 83; break;
+      default: failProb = 0.01; rareProb = 0.1; seed = 1; break;
+    }
+    Rng rng(seed);
+    std::vector<Word> recs;
+    recs.reserve(kNumRecs * 4);
+    for (int i = 0; i < kNumRecs; ++i) {
+        Word type = 0;
+        if (rng.chance(rareProb))
+            type = 1 + static_cast<Word>(rng.below(2));
+        recs.push_back(type);
+        recs.push_back(rng.range(1, 5000)); // a
+        recs.push_back(rng.range(1, 5000)); // b
+        recs.push_back(rng.chance(failProb) ? 1 : 0);
+    }
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {9000}});
+    segs.push_back({kRecs, recs});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * vpr analogue: simulated-annealing move evaluation.
+ *
+ * Behavioral profile reproduced: an accept/reject branch on a random
+ * cost delta against a temperature threshold — the hard-to-predict
+ * branch that dominates vpr's placement loop — plus a short per-move
+ * update loop. The threshold (an input parameter) sets the branch bias:
+ * input A evaluates near the 50% acceptance point (hard), input C at
+ * high acceptance (easy).
+ */
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace wisc {
+namespace kernels {
+
+namespace {
+
+constexpr Addr kCosts = kDataBase; // 4096 words
+constexpr int kNumCosts = 4096;
+
+} // namespace
+
+IrFunction
+buildVpr()
+{
+    KernelBuilder b;
+
+    // r10 = i, r11 = n, r12 = cost base, r13 = out base, r14 = lcg,
+    // r15 = accepted-delta accumulator, r16 = threshold, r4 = checksum.
+    b.li(36, static_cast<Word>(kParamBase));
+    b.ld(11, 36, 0);
+    b.ld(16, 36, 8);
+    b.li(12, static_cast<Word>(kCosts));
+    b.li(13, static_cast<Word>(kOutBase));
+    b.li(14, 12345);
+    b.li(15, 0);
+    b.li(10, 0);
+    b.li(4, 0);
+
+    b.doWhileLoop(7, [&] {
+        b.muli(14, 14, 1103515245);
+        b.addi(14, 14, 12345);
+        b.shri(30, 14, 16);
+        b.andi(30, 30, kNumCosts - 1);
+        b.shli(31, 30, 3);
+        b.add(31, 31, 12);
+        b.ld(32, 31, 0); // delta
+
+        // Accept the move when delta < threshold.
+        b.cmp(Opcode::CmpLt, 1, 2, 32, 16);
+        b.ifThenElse(
+            1, 2,
+            [&] { // accept
+                b.add(15, 15, 32);
+                b.muli(33, 15, 3);
+                b.add(4, 4, 33);
+                b.xor_(4, 4, 30);
+                b.addi(4, 4, 1);
+                b.shli(34, 30, 3);
+                b.add(34, 34, 13);
+                b.st(4, 34, 0);
+            },
+            [&] { // reject
+                b.addi(17, 17, 1);
+                b.shli(33, 30, 1);
+                b.add(4, 4, 33);
+                b.xori(4, 4, 3);
+                b.addi(4, 4, 1);
+                b.addi(4, 4, 2);
+            });
+
+        // Per-move net update loop: 2..3 trips (mildly variable; vpr's
+        // dominant misprediction source stays the accept branch).
+        b.andi(35, 30, 1);
+        b.addi(35, 35, 2);
+        b.li(37, 0);
+        b.doWhileLoop(3, [&] {
+            b.add(4, 4, 37);
+            b.addi(37, 37, 1);
+            b.cmp(Opcode::CmpLt, 3, 0, 37, 35);
+        });
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+
+    return b.finish();
+}
+
+std::vector<DataSegment>
+inputVpr(InputSet s)
+{
+    Word threshold;
+    std::uint64_t seed;
+    switch (s) {
+      case InputSet::A: threshold = 0;   seed = 101; break;
+      case InputSet::B: threshold = 64;  seed = 202; break;
+      case InputSet::C: threshold = 112; seed = 303; break;
+      default: threshold = 0; seed = 1; break;
+    }
+    Rng rng(seed);
+    std::vector<Word> costs(kNumCosts);
+    for (Word &c : costs)
+        c = rng.range(-128, 127);
+
+    std::vector<DataSegment> segs;
+    segs.push_back({kParamBase, {7000, threshold}});
+    segs.push_back({kCosts, costs});
+    return segs;
+}
+
+} // namespace kernels
+} // namespace wisc

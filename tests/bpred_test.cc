@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the branch-prediction stack: gshare/PAs hybrid
+ * learning, speculative-history checkpointing, BTB insertion/eviction
+ * with wish-type bits, the return address stack, and the indirect
+ * target cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "uarch/bpred.hh"
+
+namespace wisc {
+namespace {
+
+SimParams
+smallParams()
+{
+    SimParams p;
+    p.gshareEntries = 1024;
+    p.pasHistEntries = 64;
+    p.pasPatternEntries = 1024;
+    p.selectorEntries = 256;
+    p.btbSets = 16;
+    p.btbWays = 2;
+    return p;
+}
+
+TEST(HybridPredictorTest, LearnsAlwaysTaken)
+{
+    StatSet stats;
+    HybridPredictor bp(smallParams(), stats);
+    for (int i = 0; i < 50; ++i) {
+        BpredCheckpoint ckpt;
+        bool pred = bp.predict(42, ckpt);
+        bp.updateSpeculative(42, pred);
+        bp.train(42, true, ckpt);
+        bp.recover(42, true, ckpt); // keep history exact
+    }
+    BpredCheckpoint ckpt;
+    EXPECT_TRUE(bp.predict(42, ckpt));
+}
+
+TEST(HybridPredictorTest, LearnsAlternatingViaHistory)
+{
+    StatSet stats;
+    HybridPredictor bp(smallParams(), stats);
+    bool dir = false;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        dir = !dir;
+        BpredCheckpoint ckpt;
+        bool pred = bp.predict(42, ckpt);
+        if (i >= 200 && pred == dir)
+            ++correct;
+        bp.updateSpeculative(42, pred);
+        bp.train(42, dir, ckpt);
+        bp.recover(42, dir, ckpt);
+    }
+    // A history-based predictor captures a strict alternation.
+    EXPECT_GT(correct, 190);
+}
+
+TEST(HybridPredictorTest, CheckpointRestoresHistory)
+{
+    StatSet stats;
+    HybridPredictor bp(smallParams(), stats);
+    bp.updateSpeculative(1, true);
+    bp.updateSpeculative(2, false);
+    std::uint64_t before = bp.globalHistory();
+
+    BpredCheckpoint ckpt;
+    bp.predict(3, ckpt);
+    bp.updateSpeculative(3, true); // speculative, to be undone
+    bp.updateSpeculative(4, true);
+    EXPECT_NE(bp.globalHistory(), (before << 1) | 0);
+
+    bp.recover(3, false, ckpt); // branch 3 actually not taken
+    EXPECT_EQ(bp.globalHistory(), (before << 1) | 0);
+}
+
+TEST(HybridPredictorTest, SelectorPicksBetterComponent)
+{
+    // A pattern gshare can learn but a short local history cannot
+    // (period longer than PAs history); after training, prediction
+    // accuracy must be high, implying the selector settled correctly.
+    StatSet stats;
+    SimParams p = smallParams();
+    HybridPredictor bp(p, stats);
+    Rng rng(3);
+    int correct = 0, total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        bool dir = (i % 7) < 3; // period-7 pattern
+        BpredCheckpoint ckpt;
+        bool pred = bp.predict(77, ckpt);
+        if (i > 1000) {
+            ++total;
+            if (pred == dir)
+                ++correct;
+        }
+        bp.updateSpeculative(77, pred);
+        bp.train(77, dir, ckpt);
+        bp.recover(77, dir, ckpt);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(BtbTest, InsertLookup)
+{
+    StatSet stats;
+    Btb btb(smallParams(), stats);
+    EXPECT_EQ(btb.lookup(100), nullptr);
+    btb.insert(100, 200, WishKind::Jump, true);
+    const BtbEntry *e = btb.lookup(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->target, 200u);
+    EXPECT_EQ(e->wish, WishKind::Jump);
+    EXPECT_TRUE(e->isConditional);
+}
+
+TEST(BtbTest, LruEviction)
+{
+    StatSet stats;
+    SimParams p = smallParams(); // 16 sets x 2 ways
+    Btb btb(p, stats);
+    // Three branches in the same set (stride = sets).
+    btb.insert(0, 1, WishKind::None, true);
+    btb.insert(16, 2, WishKind::None, true);
+    btb.lookup(0); // make pc=0 recently used
+    btb.insert(32, 3, WishKind::None, true); // evicts pc=16
+    EXPECT_NE(btb.lookup(0), nullptr);
+    EXPECT_EQ(btb.lookup(16), nullptr);
+    EXPECT_NE(btb.lookup(32), nullptr);
+}
+
+TEST(BtbTest, UpdateExistingEntry)
+{
+    StatSet stats;
+    Btb btb(smallParams(), stats);
+    btb.insert(5, 10, WishKind::None, true);
+    btb.insert(5, 20, WishKind::Loop, true);
+    const BtbEntry *e = btb.lookup(5);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->target, 20u);
+    EXPECT_EQ(e->wish, WishKind::Loop);
+}
+
+TEST(RasTest, PushPopLifo)
+{
+    ReturnAddressStack ras(4);
+    ras.push(10);
+    ras.push(20);
+    ras.push(30);
+    EXPECT_EQ(ras.pop(), 30u);
+    EXPECT_EQ(ras.pop(), 20u);
+    EXPECT_EQ(ras.pop(), 10u);
+    EXPECT_EQ(ras.pop(), 0u) << "empty stack returns 0";
+}
+
+TEST(RasTest, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // drops 1
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(RasTest, CheckpointRestore)
+{
+    ReturnAddressStack ras(8);
+    ras.push(10);
+    unsigned top = ras.top();
+    ras.push(20);
+    ras.push(30);
+    ras.restore(top);
+    EXPECT_EQ(ras.pop(), 10u);
+}
+
+TEST(IndirectTargetCacheTest, LearnsPerHistoryTargets)
+{
+    StatSet stats;
+    IndirectTargetCache itc(256, stats);
+    itc.update(50, 0xAA, 111);
+    itc.update(50, 0x55, 222);
+    EXPECT_EQ(itc.predict(50, 0xAA), 111u);
+    EXPECT_EQ(itc.predict(50, 0x55), 222u);
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the KernelBuilder API contracts: block layout conventions
+ * (contiguous hammock regions, Figure-3 ordering), loop shapes, data
+ * attachment, leaBlock address materialization, and misuse detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "common/log.hh"
+#include "compiler/builder.hh"
+
+namespace wisc {
+namespace {
+
+TEST(BuilderTest, EntryBlockIsZero)
+{
+    KernelBuilder b;
+    b.li(4, 1);
+    IrFunction fn = b.finish();
+    EXPECT_EQ(fn.entry(), 0u);
+    EXPECT_EQ(fn.block(0).name, "entry");
+}
+
+TEST(BuilderTest, IfThenElseLayoutMatchesFigure3)
+{
+    // Figure 3 layout: head, else (fallthrough), then (branch target),
+    // join — ascending block ids.
+    KernelBuilder b;
+    b.cmpi(Opcode::CmpLtI, 1, 2, 10, 5);
+    b.ifThenElse(1, 2, [&] { b.li(4, 1); }, [&] { b.li(4, 2); });
+    IrFunction fn = b.finish();
+
+    const Terminator &t = fn.block(0).term;
+    ASSERT_EQ(t.kind, TermKind::CondBr);
+    EXPECT_EQ(t.next, 1u) << "else arm falls through";
+    EXPECT_EQ(t.taken, 2u) << "then arm is the branch target";
+    EXPECT_GT(t.taken, t.next) << "forward layout";
+    // Else ends in a jump to the join; then falls through to it.
+    EXPECT_EQ(fn.block(1).term.kind, TermKind::Jump);
+    EXPECT_EQ(fn.block(1).term.taken, 3u);
+    EXPECT_EQ(fn.block(2).term.kind, TermKind::Fallthrough);
+    EXPECT_EQ(fn.block(2).term.next, 3u);
+}
+
+TEST(BuilderTest, NestedArmsKeepRegionContiguous)
+{
+    KernelBuilder b;
+    b.cmpi(Opcode::CmpLtI, 1, 2, 10, 5);
+    b.ifThenElse(
+        1, 2, [&] { b.li(4, 1); },
+        [&] {
+            b.cmpi(Opcode::CmpLtI, 3, 4, 10, 2);
+            b.ifThen(3, 4, [&] { b.li(4, 3); });
+        });
+    IrFunction fn = b.finish();
+
+    // The outer join must have the highest id among the region blocks
+    // (created last), so the region [head+1, join-1] is contiguous.
+    const Terminator &t = fn.block(0).term;
+    BlockId join = 0;
+    for (BlockId i = 0; i < fn.numBlocks(); ++i)
+        join = std::max(join, i);
+    EXPECT_LT(t.taken, fn.numBlocks());
+    EXPECT_LT(t.next, t.taken);
+    (void)join;
+}
+
+TEST(BuilderTest, DoWhileRunsAtLeastOnce)
+{
+    KernelBuilder b;
+    b.li(4, 0);
+    b.li(10, 100); // start beyond the bound: still one iteration
+    b.doWhileLoop(1, [&] {
+        b.addi(4, 4, 1);
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLtI, 1, 0, 10, 5);
+    });
+    IrFunction fn = b.finish();
+    Emulator emu;
+    EXPECT_EQ(emu.run(fn.lower()).resultReg, 1);
+}
+
+TEST(BuilderTest, WhileRunsZeroTimes)
+{
+    KernelBuilder b;
+    b.li(4, 0);
+    b.li(10, 100);
+    b.whileLoop([&] { b.cmpi(Opcode::CmpLtI, 1, 2, 10, 5); }, 1, 2,
+                [&] {
+                    b.addi(4, 4, 1);
+                    b.addi(10, 10, 1);
+                });
+    IrFunction fn = b.finish();
+    Emulator emu;
+    EXPECT_EQ(emu.run(fn.lower()).resultReg, 0);
+}
+
+TEST(BuilderTest, DataSegmentsAttach)
+{
+    KernelBuilder b;
+    b.data(0x20000, {11, 22, 33});
+    b.li(6, 0x20000);
+    b.ld(4, 6, 8);
+    IrFunction fn = b.finish();
+    Emulator emu;
+    EXPECT_EQ(emu.run(fn.lower()).resultReg, 22);
+}
+
+TEST(BuilderTest, LeaBlockMaterializesAddress)
+{
+    KernelBuilder b;
+    b.leaBlock(5, 0); // address of the entry block
+    b.mov(4, 5);
+    IrFunction fn = b.finish();
+    Emulator emu;
+    EXPECT_EQ(emu.run(fn.lower()).resultReg,
+              static_cast<Word>(kTextBase));
+}
+
+TEST(BuilderTest, GuardedEmitOutsideRegions)
+{
+    // Hand-predicated instructions pass through all passes untouched.
+    KernelBuilder b;
+    b.pset(1, true);
+    Instruction gi;
+    gi.op = Opcode::AddI;
+    gi.qp = 1;
+    gi.rd = 4;
+    gi.rs1 = 4;
+    gi.imm = 9;
+    b.emit(gi);
+    IrFunction fn = b.finish();
+    Emulator emu;
+    EXPECT_EQ(emu.run(fn.lower()).resultReg, 9);
+}
+
+TEST(BuilderTest, UserPredicatesReserveFreshPool)
+{
+    KernelBuilder b;
+    b.pset(7, true); // highest user predicate
+    IrFunction fn = b.finish();
+    PredIdx fresh = fn.allocPred();
+    EXPECT_GT(fresh, 7);
+}
+
+TEST(BuilderTest, FinishTwiceIsFatal)
+{
+    KernelBuilder b;
+    b.li(4, 1);
+    b.finish();
+    EXPECT_DEATH(b.finish(), "finish");
+}
+
+TEST(BuilderTest, BranchOnP0Rejected)
+{
+    KernelBuilder b;
+    EXPECT_DEATH(b.ifThen(0, 1, [] {}), "predicate pair");
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Tests for the compiler: IR construction/lowering, region discovery,
+ * if-conversion, wish jump/join generation, wish loops, the cost model,
+ * and the architectural-equivalence invariant across all five binary
+ * variants of Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "common/log.hh"
+#include "compiler/analysis.hh"
+#include "compiler/builder.hh"
+#include "compiler/cost.hh"
+#include "compiler/driver.hh"
+#include "compiler/ifconvert.hh"
+#include "compiler/simplify.hh"
+#include "compiler/wishloop.hh"
+
+namespace wisc {
+namespace {
+
+/** Counts of each branch flavor in a lowered program. */
+struct BranchCounts
+{
+    unsigned normal = 0, wishJump = 0, wishJoin = 0, wishLoop = 0;
+};
+
+BranchCounts
+countBranches(const Program &p)
+{
+    BranchCounts c;
+    for (const Instruction &inst : p.code()) {
+        if (inst.op != Opcode::Br)
+            continue;
+        switch (inst.wish) {
+          case WishKind::None: ++c.normal; break;
+          case WishKind::Jump: ++c.wishJump; break;
+          case WishKind::Join: ++c.wishJoin; break;
+          case WishKind::Loop: ++c.wishLoop; break;
+        }
+    }
+    return c;
+}
+
+/**
+ * The paper's Figure 3 hammock: if (cond) b = 0; else b = 1; executed in
+ * a loop over varying data so every variant has work to do. r4 collects
+ * a checksum.
+ */
+IrFunction
+buildFigure3Kernel(int trip = 50)
+{
+    KernelBuilder b;
+    b.li(10, 0);    // i
+    b.li(4, 0);     // checksum
+    b.li(11, trip); // N
+    b.doWhileLoop(5, [&] {
+        b.andi(12, 10, 3); // pseudo-data: cond = (i & 3) == 0
+        b.cmpi(Opcode::CmpEqI, 1, 2, 12, 0);
+        b.ifThenElse(
+            1, 2,
+            [&] { // then: b = 0
+                b.li(13, 0);
+                b.li(20, 7); // padding so the arm is big enough to wish
+                b.add(13, 13, 20);
+                b.muli(21, 13, 3);
+                b.add(13, 13, 21);
+                b.addi(13, 13, -1);
+            },
+            [&] { // else: b = 1
+                b.li(13, 1);
+                b.li(22, 9);
+                b.add(13, 13, 22);
+                b.muli(23, 13, 2);
+                b.add(13, 13, 23);
+                b.addi(13, 13, 4);
+            });
+        b.add(4, 4, 13);
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 5, 0, 10, 11);
+    });
+    return b.finish();
+}
+
+TEST(IrTest, LowerSimpleDiamond)
+{
+    IrFunction fn = buildFigure3Kernel();
+    Program p = fn.lower();
+    p.validate();
+
+    Emulator emu;
+    EmuResult r = emu.run(p);
+    EXPECT_TRUE(r.halted);
+    EXPECT_NE(r.resultReg, 0);
+}
+
+TEST(IrTest, ValidateCatchesControlInBody)
+{
+    IrFunction fn;
+    BlockId b = fn.newBlock();
+    fn.setEntry(b);
+    Instruction br;
+    br.op = Opcode::Jmp;
+    br.target = 0;
+    fn.block(b).insts.push_back(br);
+    EXPECT_THROW(fn.validate(), FatalError);
+}
+
+TEST(IrTest, PredAllocatorNeverReuses)
+{
+    IrFunction fn;
+    fn.setMaxUserPred(5);
+    PredIdx a = fn.allocPred();
+    PredIdx b = fn.allocPred();
+    EXPECT_NE(a, b);
+    EXPECT_GT(a, 5);
+    EXPECT_GT(b, 5);
+}
+
+TEST(IrTest, PredAllocatorExhaustionIsFatal)
+{
+    IrFunction fn;
+    fn.setMaxUserPred(13);
+    EXPECT_NO_THROW(fn.allocPred()); // p15
+    EXPECT_NO_THROW(fn.allocPred()); // p14
+    EXPECT_THROW(fn.allocPred(), FatalError);
+}
+
+TEST(AnalysisTest, PostdominatorsOfDiamond)
+{
+    KernelBuilder b;
+    b.cmpi(Opcode::CmpEqI, 1, 2, 10, 0);
+    b.ifThenElse(1, 2, [&] { b.li(5, 1); }, [&] { b.li(5, 2); });
+    IrFunction fn = b.finish();
+
+    auto ipdom = immediatePostdominators(fn);
+    // Entry(0) branches to else(1)/then(2), joining at 3.
+    EXPECT_EQ(ipdom[0], 3u);
+    EXPECT_EQ(ipdom[1], 3u);
+    EXPECT_EQ(ipdom[2], 3u);
+}
+
+TEST(AnalysisTest, RegionBlocksOfDiamond)
+{
+    KernelBuilder b;
+    b.cmpi(Opcode::CmpEqI, 1, 2, 10, 0);
+    b.ifThenElse(1, 2, [&] { b.li(5, 1); }, [&] { b.li(5, 2); });
+    IrFunction fn = b.finish();
+
+    auto region = regionBlocks(fn, 0, 3);
+    ASSERT_EQ(region.size(), 2u);
+    EXPECT_EQ(region[0], 1u);
+    EXPECT_EQ(region[1], 2u);
+    EXPECT_TRUE(isAcyclic(fn, region));
+}
+
+TEST(AnalysisTest, LoopIsNotARegion)
+{
+    KernelBuilder b;
+    b.li(5, 3);
+    b.doWhileLoop(1, [&] {
+        b.addi(5, 5, -1);
+        b.cmpi(Opcode::CmpGtI, 1, 0, 5, 0);
+    });
+    IrFunction fn = b.finish();
+    auto ipdom = immediatePostdominators(fn);
+    // The loop block's ipdom is the exit; but the "region" between would
+    // contain the back edge, which regionBlocks rejects via head check.
+    for (BlockId h = 0; h < fn.numBlocks(); ++h) {
+        if (fn.block(h).term.kind == TermKind::CondBr) {
+            auto r = regionBlocks(fn, h, ipdom[h]);
+            EXPECT_TRUE(r.empty());
+        }
+    }
+}
+
+TEST(IfConvertTest, FindsDiamondRegion)
+{
+    IrFunction fn = buildFigure3Kernel();
+    auto regions = findConvertibleRegions(fn);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].blocks.size(), 2u);
+    EXPECT_GT(regions[0].fallthroughSize, 5u);
+}
+
+TEST(IfConvertTest, PredicationPreservesSemantics)
+{
+    IrFunction fn = buildFigure3Kernel();
+    Emulator emu;
+    EmuResult ref = emu.run(fn.lower());
+
+    auto regions = findConvertibleRegions(fn);
+    ASSERT_FALSE(regions.empty());
+    ASSERT_TRUE(ifConvertRegion(fn, regions[0], false));
+
+    Program p = fn.lower();
+    // All branches inside the hammock are gone; only the loop remains.
+    BranchCounts c = countBranches(p);
+    EXPECT_EQ(c.normal, 1u);
+
+    EmuResult got = emu.run(p);
+    EXPECT_EQ(got.resultReg, ref.resultReg);
+    EXPECT_EQ(got.memFingerprint, ref.memFingerprint);
+    // Predicated code retires more instructions (the fetched-NOP overhead
+    // of §2.2).
+    EXPECT_GT(got.dynInsts, ref.dynInsts);
+    EXPECT_GT(got.predFalse, 0u);
+}
+
+TEST(IfConvertTest, WishConversionKeepsBranches)
+{
+    IrFunction fn = buildFigure3Kernel();
+    Emulator emu;
+    EmuResult ref = emu.run(fn.lower());
+
+    auto regions = findConvertibleRegions(fn);
+    ASSERT_FALSE(regions.empty());
+    ASSERT_TRUE(ifConvertRegion(fn, regions[0], true));
+
+    Program p = fn.lower();
+    BranchCounts c = countBranches(p);
+    EXPECT_EQ(c.wishJump, 1u);
+    EXPECT_EQ(c.wishJoin, 1u);
+    EXPECT_EQ(c.normal, 1u); // the loop branch
+
+    EmuResult got = emu.run(p);
+    EXPECT_EQ(got.resultReg, ref.resultReg);
+    EXPECT_EQ(got.memFingerprint, ref.memFingerprint);
+}
+
+TEST(IfConvertTest, OrPatternConvertsWithMaterializedGuard)
+{
+    // Figure 6: if (cond1 || cond2) { B } else { D }, in a loop.
+    auto build = [] {
+        KernelBuilder b;
+        b.li(10, 0);
+        b.li(4, 0);
+        b.doWhileLoop(7, [&] {
+            b.andi(12, 10, 7);
+            b.cmpi(Opcode::CmpEqI, 1, 2, 12, 0);   // cond1
+            b.ifThenElse(
+                1, 2,
+                [&] { // then: cond1 true -> B
+                    b.addi(4, 4, 100);
+                    b.muli(20, 4, 3);
+                    b.add(4, 4, 20);
+                    b.addi(4, 4, 7);
+                    b.addi(4, 4, 1);
+                    b.addi(4, 4, 2);
+                },
+                [&] { // else: test cond2
+                    b.andi(13, 10, 5);
+                    b.cmpi(Opcode::CmpEqI, 3, 5, 13, 0); // cond2
+                    b.ifThenElse(
+                        3, 5,
+                        [&] {
+                            b.addi(4, 4, 100);
+                            b.muli(21, 4, 3);
+                            b.add(4, 4, 21);
+                            b.addi(4, 4, 7);
+                            b.addi(4, 4, 1);
+                            b.addi(4, 4, 2);
+                        },
+                        [&] {
+                            b.addi(4, 4, -50);
+                            b.muli(22, 4, 2);
+                            b.add(4, 4, 22);
+                            b.addi(4, 4, 3);
+                            b.addi(4, 4, 5);
+                            b.addi(4, 4, 8);
+                        });
+                });
+            b.addi(10, 10, 1);
+            b.cmpi(Opcode::CmpLtI, 7, 0, 10, 40);
+        });
+        return b.finish();
+    };
+
+    IrFunction normal = build();
+    Emulator emu;
+    EmuResult ref = emu.run(normal.lower());
+
+    // Convert everything (BASE-MAX style), inner first.
+    IrFunction fn = build();
+    unsigned conversions = 0;
+    while (true) {
+        auto regions = findConvertibleRegions(fn);
+        if (regions.empty())
+            break;
+        ASSERT_TRUE(ifConvertRegion(fn, regions[0], false));
+        simplifyChains(fn);
+        ++conversions;
+    }
+    EXPECT_GE(conversions, 2u);
+
+    EmuResult got = emu.run(fn.lower());
+    EXPECT_EQ(got.resultReg, ref.resultReg);
+    EXPECT_EQ(got.memFingerprint, ref.memFingerprint);
+}
+
+TEST(WishLoopTest, DoWhileConversion)
+{
+    auto build = [] {
+        KernelBuilder b;
+        b.li(4, 0);
+        b.li(10, 1);
+        b.doWhileLoop(1, [&] {
+            b.add(4, 4, 10);
+            b.addi(10, 10, 1);
+            b.cmpi(Opcode::CmpLeI, 1, 0, 10, 10);
+        });
+        return b.finish();
+    };
+
+    IrFunction normal = build();
+    Emulator emu;
+    EmuResult ref = emu.run(normal.lower());
+    EXPECT_EQ(ref.resultReg, 55);
+
+    IrFunction fn = build();
+    auto loops = findWishLoops(fn);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].shape, LoopInfo::Shape::DoWhile);
+    ASSERT_TRUE(convertWishLoop(fn, loops[0]));
+
+    Program p = fn.lower();
+    BranchCounts c = countBranches(p);
+    EXPECT_EQ(c.wishLoop, 1u);
+
+    EmuResult got = emu.run(p);
+    EXPECT_EQ(got.resultReg, 55);
+    // Figure 4b: the preheader gained the predicate initialization.
+    EXPECT_EQ(got.dynInsts, ref.dynInsts + 1);
+}
+
+TEST(WishLoopTest, WhileRotation)
+{
+    auto build = [](int n) {
+        KernelBuilder b;
+        b.li(4, 0);
+        b.li(10, 0);
+        b.li(11, n);
+        b.whileLoop(
+            [&] { b.cmp(Opcode::CmpLt, 1, 2, 10, 11); }, 1, 2,
+            [&] {
+                b.add(4, 4, 10);
+                b.addi(10, 10, 1);
+            });
+        b.addi(4, 4, 1000);
+        return b.finish();
+    };
+
+    for (int n : {0, 1, 5}) {
+        IrFunction normal = build(n);
+        Emulator emu;
+        EmuResult ref = emu.run(normal.lower());
+
+        IrFunction fn = build(n);
+        auto loops = findWishLoops(fn);
+        ASSERT_EQ(loops.size(), 1u) << "n=" << n;
+        EXPECT_EQ(loops[0].shape, LoopInfo::Shape::While);
+        ASSERT_TRUE(convertWishLoop(fn, loops[0]));
+
+        Program p = fn.lower();
+        EXPECT_EQ(countBranches(p).wishLoop, 1u);
+        EmuResult got = emu.run(p);
+        EXPECT_EQ(got.resultReg, ref.resultReg) << "n=" << n;
+    }
+}
+
+TEST(WishLoopTest, BodyTooBigRejected)
+{
+    KernelBuilder b;
+    b.li(4, 0);
+    b.li(10, 1);
+    b.doWhileLoop(1, [&] {
+        for (int i = 0; i < 40; ++i)
+            b.addi(4, 4, 1);
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLeI, 1, 0, 10, 10);
+    });
+    IrFunction fn = b.finish();
+    EXPECT_TRUE(findWishLoops(fn, 30).empty());
+    EXPECT_EQ(findWishLoops(fn, 100).size(), 1u);
+}
+
+TEST(CostTest, SequenceCyclesRespectsDependences)
+{
+    // Three dependent adds: height 3.
+    std::vector<Instruction> chain;
+    for (int i = 0; i < 3; ++i) {
+        Instruction a;
+        a.op = Opcode::Add;
+        a.rd = 5;
+        a.rs1 = 5;
+        a.rs2 = 5;
+        chain.push_back(a);
+    }
+    EXPECT_DOUBLE_EQ(estimateSequenceCycles(chain), 3.0);
+
+    // Three independent adds: resource bound 3/8.
+    std::vector<Instruction> indep;
+    for (int i = 0; i < 3; ++i) {
+        Instruction a;
+        a.op = Opcode::Add;
+        a.rd = static_cast<RegIdx>(5 + i);
+        a.rs1 = 20;
+        a.rs2 = 21;
+        indep.push_back(a);
+    }
+    EXPECT_DOUBLE_EQ(estimateSequenceCycles(indep), 1.0);
+}
+
+TEST(CostTest, HardToPredictBranchFavorsPredication)
+{
+    IrFunction fn = buildFigure3Kernel();
+    auto regions = findConvertibleRegions(fn);
+    ASSERT_EQ(regions.size(), 1u);
+
+    BranchStats hard;
+    hard.takenProb.assign(fn.numBlocks(), 0.5);
+    hard.mispredictRate.assign(fn.numBlocks(), 0.5);
+    EXPECT_TRUE(predicationProfitable(fn, regions[0].head,
+                                      regions[0].join, regions[0].blocks,
+                                      hard));
+
+    BranchStats easy;
+    easy.takenProb.assign(fn.numBlocks(), 1.0);
+    easy.mispredictRate.assign(fn.numBlocks(), 0.0);
+    EXPECT_FALSE(predicationProfitable(fn, regions[0].head,
+                                       regions[0].join, regions[0].blocks,
+                                       easy));
+}
+
+TEST(DriverTest, AllVariantsEquivalent)
+{
+    IrFunction fn = buildFigure3Kernel();
+    auto variants = compileAllVariants(fn);
+    EXPECT_EQ(verifyVariantEquivalence(variants), 5u);
+}
+
+TEST(DriverTest, VariantShapesMatchTable3)
+{
+    // Add a small wish-loop-eligible loop after the hammock kernel.
+    KernelBuilder b;
+    b.li(10, 0);
+    b.li(4, 0);
+    b.doWhileLoop(5, [&] {
+        b.andi(12, 10, 3);
+        b.cmpi(Opcode::CmpEqI, 1, 2, 12, 0);
+        b.ifThenElse(
+            1, 2,
+            [&] {
+                b.li(13, 0);
+                b.addi(13, 13, 7);
+                b.muli(20, 13, 3);
+                b.add(13, 13, 20);
+                b.addi(13, 13, -1);
+                b.addi(13, 13, 2);
+            },
+            [&] {
+                b.li(13, 1);
+                b.addi(13, 13, 9);
+                b.muli(21, 13, 2);
+                b.add(13, 13, 21);
+                b.addi(13, 13, 4);
+                b.addi(13, 13, 3);
+            });
+        b.add(4, 4, 13);
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 5, 0, 10, 11);
+    });
+    IrFunction fn = b.finish();
+
+    auto variants = compileAllVariants(fn);
+
+    // normal: no wish branches, hammock branches intact.
+    BranchCounts n = countBranches(
+        variants.at(BinaryVariant::Normal).program);
+    EXPECT_EQ(n.wishJump + n.wishJoin + n.wishLoop, 0u);
+    EXPECT_GE(n.normal, 2u);
+
+    // BASE-MAX: hammock gone.
+    BranchCounts m = countBranches(
+        variants.at(BinaryVariant::BaseMax).program);
+    EXPECT_EQ(m.normal, 1u); // loop branch only
+    EXPECT_EQ(m.wishJump, 0u);
+
+    // wish jump/join: hammock kept as wish jump + join, loop normal.
+    BranchCounts wjj = countBranches(
+        variants.at(BinaryVariant::WishJumpJoin).program);
+    EXPECT_EQ(wjj.wishJump, 1u);
+    EXPECT_GE(wjj.wishJoin, 1u);
+    EXPECT_EQ(wjj.wishLoop, 0u);
+    EXPECT_EQ(wjj.normal, 1u);
+
+    // wish jump/join/loop: the loop body contains wish branches, so it
+    // must NOT become a wish loop (no nesting).
+    BranchCounts wjjl = countBranches(
+        variants.at(BinaryVariant::WishJumpJoinLoop).program);
+    EXPECT_EQ(wjjl.wishJump, 1u);
+    EXPECT_EQ(wjjl.wishLoop, 0u);
+
+    EXPECT_EQ(verifyVariantEquivalence(variants), 5u);
+}
+
+TEST(DriverTest, WishLoopGeneratedForSimpleLoop)
+{
+    KernelBuilder b;
+    b.li(4, 0);
+    b.li(10, 1);
+    b.doWhileLoop(1, [&] {
+        b.add(4, 4, 10);
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLeI, 1, 0, 10, 100);
+    });
+    IrFunction fn = b.finish();
+
+    auto variants = compileAllVariants(fn);
+    BranchCounts wjjl = countBranches(
+        variants.at(BinaryVariant::WishJumpJoinLoop).program);
+    EXPECT_EQ(wjjl.wishLoop, 1u);
+    BranchCounts wjj = countBranches(
+        variants.at(BinaryVariant::WishJumpJoin).program);
+    EXPECT_EQ(wjj.wishLoop, 0u);
+    EXPECT_EQ(verifyVariantEquivalence(variants), 5u);
+}
+
+TEST(DriverTest, SmallHammockPredicatedNotWished)
+{
+    // Fall-through arm of 2 insts (< N=5): the wish binaries predicate it.
+    KernelBuilder b;
+    b.li(10, 0);
+    b.li(4, 0);
+    b.doWhileLoop(5, [&] {
+        b.andi(12, 10, 3);
+        b.cmpi(Opcode::CmpEqI, 1, 2, 12, 0);
+        b.ifThen(1, 2, [&] {
+            b.addi(4, 4, 3);
+            b.addi(4, 4, 4);
+        });
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLtI, 5, 0, 10, 30);
+    });
+    IrFunction fn = b.finish();
+
+    auto variants = compileAllVariants(fn);
+    BranchCounts wjj = countBranches(
+        variants.at(BinaryVariant::WishJumpJoin).program);
+    EXPECT_EQ(wjj.wishJump, 0u);
+    EXPECT_EQ(verifyVariantEquivalence(variants), 5u);
+}
+
+TEST(DriverTest, ProfileAwareHeuristicSkipsEasyBranches)
+{
+    // A branch that is ~always taken: SizeOnly wish-converts it,
+    // ProfileAware leaves it as a normal branch.
+    KernelBuilder b;
+    b.li(10, 0);
+    b.li(4, 0);
+    b.doWhileLoop(5, [&] {
+        b.cmpi(Opcode::CmpGeI, 1, 2, 10, 1000000); // almost never true
+        b.ifThenElse(
+            1, 2,
+            [&] {
+                for (int i = 0; i < 7; ++i)
+                    b.addi(4, 4, 1);
+            },
+            [&] {
+                for (int i = 0; i < 7; ++i)
+                    b.addi(4, 4, 2);
+            });
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLtI, 5, 0, 10, 200);
+    });
+    IrFunction fn = b.finish();
+
+    BranchStats stats = profileFunction(fn);
+    CompileOptions sizeOnly;
+    CompileOptions profAware;
+    profAware.wishHeuristic = WishHeuristic::ProfileAware;
+
+    CompiledBinary s =
+        compileVariant(fn, BinaryVariant::WishJumpJoin, stats, sizeOnly);
+    CompiledBinary p =
+        compileVariant(fn, BinaryVariant::WishJumpJoin, stats, profAware);
+    EXPECT_GT(s.staticWishJumps, 0u);
+    EXPECT_EQ(p.staticWishJumps, 0u)
+        << "profile-aware: the easy branch stays a normal branch";
+    EXPECT_GT(p.staticCondBranches, 1u);
+}
+
+TEST(DriverTest, ProfileFeedsBaseDef)
+{
+    // A branch that is ~always taken: BASE-DEF must leave it alone while
+    // BASE-MAX predicates it.
+    KernelBuilder b;
+    b.li(10, 0);
+    b.li(4, 0);
+    b.doWhileLoop(5, [&] {
+        b.cmpi(Opcode::CmpGeI, 1, 2, 10, 1000000); // almost never true
+        b.ifThen(1, 2, [&] {
+            for (int i = 0; i < 8; ++i)
+                b.addi(4, 4, 1);
+        });
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLtI, 5, 0, 10, 200);
+    });
+    IrFunction fn = b.finish();
+
+    auto variants = compileAllVariants(fn);
+    BranchCounts def = countBranches(
+        variants.at(BinaryVariant::BaseDef).program);
+    BranchCounts max = countBranches(
+        variants.at(BinaryVariant::BaseMax).program);
+    EXPECT_EQ(def.normal, 2u) << "BASE-DEF keeps the predictable branch";
+    EXPECT_EQ(max.normal, 1u) << "BASE-MAX predicates it";
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Detailed timing-model tests: MSHR limiting, the fetch group rules
+ * (taken-branch stop, conditional-branch cap), select-µop expansion
+ * accounting, NO-FETCH's treatment of unconditional compares, and the
+ * predicate-dependency-elimination speedup in high-confidence mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/driver.hh"
+#include "isa/assembler.hh"
+#include "uarch/core.hh"
+
+namespace wisc {
+namespace {
+
+SimResult
+run(const Program &p, const SimParams &params, StatSet &stats)
+{
+    return simulate(p, params, stats);
+}
+
+SimResult
+run(const Program &p, const SimParams &params = SimParams{})
+{
+    StatSet stats;
+    return run(p, params, stats);
+}
+
+TEST(CoreDetail, MshrLimitThrottlesIndependentMisses)
+{
+    // 64 independent loads from distinct cold lines.
+    std::string src = "li r6, 0x300000\nli r4, 0\n";
+    for (int i = 0; i < 64; ++i)
+        src += "ld r" + std::to_string(10 + (i % 16)) + ", r6, " +
+               std::to_string(i * 4096) + "\n";
+    src += "halt\n";
+    Program p = assemble(src);
+
+    SimParams wide;
+    wide.maxOutstandingMisses = 64;
+    SimParams narrow;
+    narrow.maxOutstandingMisses = 2;
+    SimResult rw = run(p, wide);
+    SimResult rn = run(p, narrow);
+    EXPECT_GT(rn.cycles, rw.cycles * 3)
+        << "2 MSHRs must serialize what 64 MSHRs overlap";
+}
+
+TEST(CoreDetail, FetchStopsAtPredictedTakenBranch)
+{
+    // A tight loop of 2 µops: fetch can never exceed ~2 µops/cycle
+    // because every group ends at the taken backward branch.
+    Program p = assemble(R"(
+        li r5, 0
+        loop:
+        addi r5, r5, 1
+        cmpi.lt p1, p0, r5, 3000
+        br p1, loop
+        li r4, 1
+        halt
+    )");
+    StatSet stats;
+    SimResult r = run(p, SimParams{}, stats);
+    // 3 µops per iteration, one fetch group per iteration.
+    EXPECT_GT(r.cycles, 2900u);
+}
+
+TEST(CoreDetail, SelectUopDoublesPredicatedUops)
+{
+    Program p = assemble(R"(
+        pset p1, 1
+        li r5, 0
+        loop:
+        (p1) addi r6, r6, 1
+        (p1) addi r7, r7, 1
+        addi r5, r5, 1
+        cmpi.lt p2, p0, r5, 100
+        br p2, loop
+        li r4, 1
+        halt
+    )");
+    SimParams cstyle;
+    SimParams sel;
+    sel.predMech = PredMechanism::SelectUop;
+    StatSet s1, s2;
+    run(p, cstyle, s1);
+    run(p, sel, s2);
+    // Two predicated register-writing µops per iteration expand 2x.
+    std::uint64_t diff =
+        s2.get("core.retired_uops") - s1.get("core.retired_uops");
+    EXPECT_GE(diff, 190u);
+    EXPECT_LE(diff, 210u);
+}
+
+TEST(CoreDetail, NoFetchKeepsUncCompareEffects)
+{
+    // The unc compare under a FALSE guard must still clear its targets
+    // even with the NO-FETCH oracle, or results would change.
+    KernelBuilder b;
+    b.li(10, 7);
+    b.cmpi(Opcode::CmpLtI, 1, 2, 10, 5); // false: p1=0, p2=1
+    b.ifThenElse(1, 2, [&] { b.li(4, 100); }, [&] { b.li(4, 200); });
+    IrFunction fn = b.finish();
+    auto variants = compileAllVariants(fn);
+    const Program &pred =
+        variants.at(BinaryVariant::BaseMax).program;
+
+    SimParams nofetch;
+    nofetch.oracle.noFetch = true;
+    SimResult r = run(pred, nofetch); // checkFinalState validates
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.resultReg, 200);
+}
+
+TEST(CoreDetail, HighConfPredicatePredictionSpeedsDependents)
+{
+    // A predicated chain fed by a slow (cache-missing) compare input:
+    // in high-confidence mode the predicate is predicted, so the chain
+    // need not wait. Compare wish hardware on vs off on the same
+    // wish binary with a perfectly predictable branch.
+    KernelBuilder b;
+    b.li(10, 0);
+    b.li(12, 0x400000);
+    b.li(4, 0);
+    b.doWhileLoop(7, [&] {
+        b.muli(30, 10, 4096);
+        b.add(30, 30, 12);
+        b.ld(20, 30, 0); // always 0: cold miss
+        b.cmpi(Opcode::CmpGeI, 1, 2, 20, 0); // always TRUE
+        b.ifThenElse(
+            1, 2,
+            [&] {
+                b.addi(4, 4, 1);
+                b.addi(4, 4, 2);
+                b.addi(4, 4, 3);
+                b.addi(4, 4, 4);
+                b.addi(4, 4, 5);
+                b.addi(4, 4, 6);
+            },
+            [&] {
+                b.addi(4, 4, 7);
+                b.addi(4, 4, 8);
+                b.addi(4, 4, 9);
+                b.addi(4, 4, 10);
+                b.addi(4, 4, 11);
+                b.addi(4, 4, 12);
+            });
+        b.addi(10, 10, 1);
+        b.cmpi(Opcode::CmpLtI, 7, 0, 10, 300);
+    });
+    IrFunction fn = b.finish();
+    auto variants = compileAllVariants(fn);
+    const Program &wjj =
+        variants.at(BinaryVariant::WishJumpJoin).program;
+
+    SimParams off;
+    off.wishEnabled = false;
+    SimParams perfectConf;
+    perfectConf.oracle.perfectConfidence = true;
+
+    SimResult roff = run(wjj, off);
+    SimResult rperf = run(wjj, perfectConf);
+    // With perfect confidence every instance runs in high-confidence
+    // mode: the predicate is predicted, the arms never wait for the
+    // missing load, and performance matches plain branch prediction.
+    EXPECT_LE(rperf.cycles, roff.cycles * 21 / 20);
+
+    // The real estimator starts cold and conservatively predicates some
+    // early instances (Figure 11's low-confidence-correct overhead), so
+    // it may only approach that bound.
+    SimResult rreal = run(wjj, SimParams{});
+    EXPECT_LE(rreal.cycles, roff.cycles * 3 / 2);
+    EXPECT_GE(rreal.cycles, rperf.cycles);
+}
+
+TEST(CoreDetail, FlushRestoresStoreOrdering)
+{
+    // Store -> mispredicted branch -> wrong-path store: after the
+    // flush, a load must see the first store's value.
+    Program p = assemble(R"(
+        li r6, 0x70000
+        li r5, 0
+        li r9, 777
+        loop:
+        muli r9, r9, 69069
+        addi r9, r9, 13
+        shri r7, r9, 15
+        andi r7, r7, 1
+        st r7, r6, 0
+        cmpi.eq p1, p2, r7, 1
+        br p1, skip
+        addi r4, r4, 1
+        st r4, r6, 8
+        skip:
+        ld r8, r6, 0
+        add r4, r4, r8
+        addi r5, r5, 1
+        cmpi.lt p3, p0, r5, 400
+        br p3, loop
+        halt
+    )");
+    SimResult r = run(p); // checkFinalState cross-checks vs emulator
+    EXPECT_TRUE(r.halted);
+}
+
+TEST(CoreDetail, MaxCyclesSafetyStopsRunawayProgram)
+{
+    Program p = assemble(R"(
+        loop:
+        jmp loop
+        halt
+    )");
+    SimParams params;
+    params.maxCycles = 5000;
+    params.checkFinalState = false;
+    SimResult r = run(p, params);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.cycles, 5000u);
+}
+
+TEST(CoreDetail, DeeperPipelineRaisesMispredictPenaltyRoughlyLinearly)
+{
+    Program p = assemble(R"(
+        li r5, 0
+        li r6, 424242
+        loop:
+        muli r6, r6, 1103515245
+        addi r6, r6, 12345
+        shri r7, r6, 17
+        andi r7, r7, 1
+        cmpi.eq p1, p2, r7, 1
+        br p1, skip
+        addi r4, r4, 1
+        skip:
+        addi r5, r5, 1
+        cmpi.lt p3, p0, r5, 1200
+        br p3, loop
+        halt
+    )");
+    SimParams d10, d30;
+    d10.pipelineStages = 10;
+    d30.pipelineStages = 30;
+    StatSet s10, s30;
+    SimResult r10 = run(p, d10, s10);
+    SimResult r30 = run(p, d30, s30);
+
+    double m10 = static_cast<double>(s10.get("core.branch_mispredicts"));
+    double m30 = static_cast<double>(s30.get("core.branch_mispredicts"));
+    ASSERT_GT(m10, 100.0);
+    ASSERT_GT(m30, 100.0);
+    double extra =
+        (static_cast<double>(r30.cycles) - static_cast<double>(r10.cycles)) /
+        ((m10 + m30) / 2.0);
+    // ~20 stages of extra penalty per misprediction.
+    EXPECT_GT(extra, 10.0);
+    EXPECT_LT(extra, 35.0);
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the experiment harness: the runner captures statistics, the
+ * normalized-experiment scaffolding computes AVG/AVGnomcf the way the
+ * paper does (§2.2 footnote 2), and results are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiments.hh"
+#include "harness/runner.hh"
+
+namespace wisc {
+namespace {
+
+TEST(RunnerTest, CapturesStatsSnapshot)
+{
+    CompiledWorkload w = compileWorkload("crafty");
+    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    EXPECT_TRUE(r.result.halted);
+    EXPECT_GT(r.stat("core.cycles"), 0u);
+    EXPECT_GT(r.stat("core.retired_uops"), 0u);
+    EXPECT_EQ(r.stat("core.cycles"), r.result.cycles);
+    EXPECT_GT(r.mispredictsPer1K(), 0.0);
+}
+
+TEST(RunnerTest, RunsAreReproducible)
+{
+    CompiledWorkload w = compileWorkload("crafty");
+    RunOutcome a = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
+                               InputSet::A);
+    RunOutcome b = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
+                               InputSet::A);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.stat("core.flushes"), b.stat("core.flushes"));
+}
+
+TEST(ExperimentTest, NormalizedAveragesExcludeMcf)
+{
+    std::vector<SeriesSpec> series = {
+        {"normal-again", BinaryVariant::Normal, SimParams{}},
+    };
+    // Two benchmarks, one of them mcf: AVG covers both, AVGnomcf one.
+    NormalizedResults r = runNormalizedExperiment(
+        series, InputSet::A, SimParams{}, {"crafty", "mcf"});
+    ASSERT_EQ(r.relTime.size(), 2u);
+    // The normal binary normalized to itself is exactly 1.
+    EXPECT_DOUBLE_EQ(r.relTime[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(r.relTime[1][0], 1.0);
+    EXPECT_DOUBLE_EQ(r.avg[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.avgNoMcf[0], 1.0);
+}
+
+TEST(ExperimentTest, PrintsPaperStyleTable)
+{
+    NormalizedResults r;
+    r.benchmarks = {"x"};
+    r.seriesLabels = {"s1", "s2"};
+    r.relTime = {{0.5, 1.25}};
+    r.avg = {0.5, 1.25};
+    r.avgNoMcf = {0.5, 1.25};
+    std::ostringstream os;
+    printNormalized(os, r);
+    std::string out = os.str();
+    EXPECT_NE(out.find("AVG"), std::string::npos);
+    EXPECT_NE(out.find("AVGnomcf"), std::string::npos);
+    EXPECT_NE(out.find("0.500"), std::string::npos);
+    EXPECT_NE(out.find("1.250"), std::string::npos);
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the WISC ISA definition, encoding metadata (Figure 7),
+ * the assembler, and Program validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace wisc {
+namespace {
+
+TEST(IsaTest, OpcodeMetadataConsistency)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(i);
+        // Every opcode has a printable name.
+        EXPECT_NE(opcodeName(inst.op), nullptr);
+        EXPECT_GT(std::string(opcodeName(inst.op)).size(), 0u);
+        // An instruction never both writes a register and a predicate.
+        EXPECT_FALSE(inst.writesReg() && inst.writesPred())
+            << opcodeName(inst.op);
+    }
+}
+
+TEST(IsaTest, BranchPredicates)
+{
+    Instruction br;
+    br.op = Opcode::Br;
+    EXPECT_TRUE(br.isBranch());
+    EXPECT_TRUE(br.isControl());
+    EXPECT_FALSE(br.isWish());
+
+    br.wish = WishKind::Jump;
+    EXPECT_TRUE(br.isWish());
+
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    EXPECT_FALSE(jmp.isBranch());
+    EXPECT_TRUE(jmp.isControl());
+
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    EXPECT_TRUE(ret.isIndirect());
+}
+
+TEST(IsaTest, WishKindEncodingPerFigure7)
+{
+    // Figure 7: btype distinguishes normal vs wish; wtype has three
+    // values. WishKind::None plays the role of btype=0.
+    EXPECT_STREQ(wishKindName(WishKind::None), "");
+    EXPECT_STREQ(wishKindName(WishKind::Jump), "wish.jump");
+    EXPECT_STREQ(wishKindName(WishKind::Join), "wish.join");
+    EXPECT_STREQ(wishKindName(WishKind::Loop), "wish.loop");
+}
+
+TEST(IsaTest, AddrConversionRoundTrip)
+{
+    for (std::uint64_t idx : {0ull, 1ull, 1000ull, 123456ull}) {
+        EXPECT_EQ(addrToIndex(instAddr(idx)), idx);
+    }
+    EXPECT_EQ(instAddr(0), kTextBase);
+    EXPECT_EQ(instAddr(1), kTextBase + kInstBytes);
+}
+
+TEST(IsaTest, InstrClassMapping)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    EXPECT_EQ(i.instrClass(), InstrClass::Load);
+    i.op = Opcode::St1;
+    EXPECT_EQ(i.instrClass(), InstrClass::Store);
+    i.op = Opcode::Mul;
+    EXPECT_EQ(i.instrClass(), InstrClass::IntMul);
+    i.op = Opcode::Div;
+    EXPECT_EQ(i.instrClass(), InstrClass::IntDiv);
+    i.op = Opcode::Br;
+    EXPECT_EQ(i.instrClass(), InstrClass::Branch);
+    i.op = Opcode::AddI;
+    EXPECT_EQ(i.instrClass(), InstrClass::IntAlu);
+}
+
+TEST(AssemblerTest, SimpleProgram)
+{
+    Program p = assemble(R"(
+        ; compute 6*7 into r4
+        li r5, 6
+        li r6, 7
+        mul r4, r5, r6
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(2).op, Opcode::Mul);
+    EXPECT_EQ(p.at(3).op, Opcode::Halt);
+}
+
+TEST(AssemblerTest, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        li r5, 10
+        loop:
+        addi r5, r5, -1
+        cmpi.gt p1, p0, r5, 0
+        br p1, loop
+        halt
+    )");
+    EXPECT_EQ(p.label("loop"), 1u);
+    const Instruction &br = p.at(3);
+    EXPECT_EQ(br.op, Opcode::Br);
+    EXPECT_EQ(br.qp, 1);
+    EXPECT_EQ(br.target, 1u);
+}
+
+TEST(AssemblerTest, WishBranchSugar)
+{
+    Program p = assemble(R"(
+        entry:
+        cmpi.lt p1, p2, r5, 3
+        wish.jump p1, tgt
+        (p2) addi r6, r6, 1
+        wish.join p2, done
+        tgt:
+        (p1) addi r6, r6, 2
+        done:
+        halt
+    )");
+    EXPECT_EQ(p.at(1).wish, WishKind::Jump);
+    EXPECT_EQ(p.at(1).qp, 1);
+    EXPECT_EQ(p.at(3).wish, WishKind::Join);
+    EXPECT_EQ(p.at(3).target, p.label("done"));
+}
+
+TEST(AssemblerTest, GuardPrefix)
+{
+    Program p = assemble(R"(
+        (p3) add r1, r2, r3
+        halt
+    )");
+    EXPECT_EQ(p.at(0).qp, 3);
+}
+
+TEST(AssemblerTest, DataDirective)
+{
+    Program p = assemble(R"(
+        .data 0x20000 10 20 -30
+        halt
+    )");
+    ASSERT_EQ(p.data().size(), 1u);
+    EXPECT_EQ(p.data()[0].base, 0x20000u);
+    ASSERT_EQ(p.data()[0].words.size(), 3u);
+    EXPECT_EQ(p.data()[0].words[2], -30);
+}
+
+TEST(AssemblerTest, EntryDirective)
+{
+    Program p = assemble(R"(
+        .entry start
+        halt
+        start:
+        li r4, 1
+        halt
+    )");
+    EXPECT_EQ(p.entry(), 1u);
+}
+
+TEST(AssemblerTest, ErrorsAreFatal)
+{
+    EXPECT_THROW(assemble("bogus r1, r2"), FatalError);
+    EXPECT_THROW(assemble("br p1, nowhere\nhalt"), FatalError);
+    EXPECT_THROW(assemble("add r1, r2\nhalt"), FatalError);
+    EXPECT_THROW(assemble("li r99, 1\nhalt"), FatalError);
+    EXPECT_THROW(assemble("li r1, 1"), FatalError) << "no halt";
+    EXPECT_THROW(assemble("x: halt\nx: halt"), FatalError) << "dup label";
+}
+
+TEST(ProgramTest, ValidateRejectsBadTargets)
+{
+    Program p;
+    Instruction br;
+    br.op = Opcode::Br;
+    br.qp = 1;
+    br.target = 99;
+    p.append(br);
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.append(halt);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProgramTest, ValidateRejectsWishOnNonBranch)
+{
+    Program p;
+    Instruction add;
+    add.op = Opcode::Add;
+    add.wish = WishKind::Loop;
+    p.append(add);
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.append(halt);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ProgramTest, DisassembleRoundTripSpotChecks)
+{
+    // The assembler does not parse "unc."; build the instruction manually.
+    Instruction i;
+    i.op = Opcode::CmpLt;
+    i.qp = 1;
+    i.pd = 2;
+    i.pd2 = 3;
+    i.rs1 = 5;
+    i.rs2 = 6;
+    i.unc = true;
+    std::string d = disassemble(i);
+    EXPECT_NE(d.find("unc."), std::string::npos);
+    EXPECT_NE(d.find("(p1)"), std::string::npos);
+}
+
+TEST(ProgramTest, ListingShowsLabels)
+{
+    Program p = assemble(R"(
+        start:
+        li r4, 42
+        halt
+    )");
+    std::string l = p.listing();
+    EXPECT_NE(l.find("start:"), std::string::npos);
+    EXPECT_NE(l.find("li r4, 42"), std::string::npos);
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Property-based tests.
+ *
+ *  - Random structured kernels (nested hammocks + loops over random
+ *    data) compile through all five variants and remain architecturally
+ *    equivalent — the central compiler-correctness property.
+ *  - The timing core's final state matches the functional emulator for
+ *    every variant of every random kernel (the execute-at-fetch /
+ *    undo-log machinery is exercised under random flush patterns).
+ *  - Predicated-off instructions are architectural NOPs for every
+ *    opcode.
+ *  - The undo log restores arbitrary random state mutations exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "arch/executor.hh"
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "compiler/driver.hh"
+#include "uarch/core.hh"
+
+namespace wisc {
+namespace {
+
+/** Generate a random structured kernel driven by the seed. */
+IrFunction
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelBuilder b;
+
+    // Random data block the kernel reads.
+    std::vector<Word> data(256);
+    for (Word &w : data)
+        w = rng.range(-1000, 1000);
+    b.data(0x20000, data);
+
+    b.li(12, 0x20000);
+    b.li(10, 0);
+    b.li(4, 0);
+    b.li(11, static_cast<Word>(60 + rng.below(80))); // outer trips
+
+    // Emit a few random straight-line ops on scratch regs r20-r27.
+    auto randomOps = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+            RegIdx rd = static_cast<RegIdx>(20 + rng.below(8));
+            RegIdx ra = static_cast<RegIdx>(20 + rng.below(8));
+            switch (rng.below(6)) {
+              case 0: b.add(rd, ra, 4); break;
+              case 1: b.xori(rd, ra, static_cast<Word>(rng.below(255)));
+                      break;
+              case 2: b.muli(rd, ra, static_cast<Word>(1 + rng.below(7)));
+                      break;
+              case 3: b.shri(rd, ra, static_cast<Word>(rng.below(5)));
+                      break;
+              case 4: b.sub(rd, 4, ra); break;
+              default: b.addi(rd, ra, static_cast<Word>(rng.below(11)));
+                       break;
+            }
+        }
+        b.add(4, 4, static_cast<RegIdx>(20 + rng.below(8)));
+    };
+
+    b.doWhileLoop(7, [&] {
+        // Load a data-dependent value.
+        b.andi(30, 10, 255);
+        b.shli(30, 30, 3);
+        b.add(30, 30, 12);
+        b.ld(20, 30, 0);
+
+        // Random nested control flow (depth <= 2).
+        int shape = static_cast<int>(rng.below(4));
+        b.cmpi(Opcode::CmpGtI, 1, 2, 20,
+               static_cast<Word>(rng.range(-500, 500)));
+        if (shape == 0) {
+            b.ifThen(1, 2, [&] { randomOps(3 + rng.below(6)); });
+        } else if (shape == 1) {
+            b.ifThenElse(1, 2, [&] { randomOps(3 + rng.below(6)); },
+                         [&] { randomOps(3 + rng.below(6)); });
+        } else if (shape == 2) {
+            b.ifThenElse(
+                1, 2, [&] { randomOps(2 + rng.below(4)); },
+                [&] {
+                    b.cmpi(Opcode::CmpLtI, 3, 5, 20, 0);
+                    b.ifThenElse(3, 5,
+                                 [&] { randomOps(2 + rng.below(4)); },
+                                 [&] { randomOps(2 + rng.below(4)); });
+                });
+        } else {
+            // A short data-dependent inner loop (wish-loop candidate).
+            b.andi(31, 20, 7);
+            b.li(32, 0);
+            b.doWhileLoop(6, [&] {
+                b.add(4, 4, 32);
+                b.addi(32, 32, 1);
+                b.cmp(Opcode::CmpLe, 6, 0, 32, 31);
+            });
+        }
+
+        b.addi(10, 10, 1);
+        b.cmp(Opcode::CmpLt, 7, 0, 10, 11);
+    });
+    return b.finish();
+}
+
+class RandomKernel : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernel,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST_P(RandomKernel, VariantsEquivalentFunctionally)
+{
+    IrFunction fn = randomKernel(GetParam());
+    auto variants = compileAllVariants(fn);
+    EXPECT_EQ(verifyVariantEquivalence(variants), 5u);
+}
+
+TEST_P(RandomKernel, TimingCoreMatchesEmulator)
+{
+    IrFunction fn = randomKernel(GetParam());
+    auto variants = compileAllVariants(fn);
+
+    Emulator emu;
+    EmuResult ref =
+        emu.run(variants.at(BinaryVariant::Normal).program);
+
+    SimParams params; // checkFinalState panics internally on divergence
+    for (BinaryVariant v : kAllVariants) {
+        StatSet stats;
+        SimResult r = simulate(variants.at(v).program, params, stats);
+        ASSERT_TRUE(r.halted) << variantName(v);
+        EXPECT_EQ(r.resultReg, ref.resultReg) << variantName(v);
+        EXPECT_EQ(r.memFingerprint, ref.memFingerprint) << variantName(v);
+    }
+}
+
+TEST_P(RandomKernel, SelectUopMachineMatchesToo)
+{
+    IrFunction fn = randomKernel(GetParam());
+    auto variants = compileAllVariants(fn);
+
+    SimParams params;
+    params.predMech = PredMechanism::SelectUop;
+    StatSet stats;
+    SimResult r = simulate(
+        variants.at(BinaryVariant::WishJumpJoinLoop).program, params,
+        stats);
+    EXPECT_TRUE(r.halted);
+}
+
+// --- executor predication property over every opcode ------------------
+
+class PredicationNullifies
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, PredicationNullifies,
+    ::testing::Range(0u, static_cast<unsigned>(Opcode::NumOpcodes)));
+
+TEST_P(PredicationNullifies, FalseGuardLeavesStateUntouched)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+
+    Instruction inst;
+    inst.op = op;
+    inst.qp = 1; // guard predicate (FALSE below)
+    inst.rd = 5;
+    inst.rs1 = 6;
+    inst.rs2 = 7;
+    inst.pd = (op == Opcode::PSet || inst.writesPred()) ? 2 : kPredNone;
+    inst.pd2 = kPredNone;
+    inst.ps = 3;
+    inst.ps2 = 4;
+    inst.imm = 9;
+    if (op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Call)
+        inst.target = 1;
+
+    ArchState s;
+    s.writePred(1, false);
+    s.writeReg(6, 0x30000);
+    s.writeReg(7, 55);
+    s.writeReg(5, 42);
+    s.writePred(2, true);
+    s.mem().writeWord(0x30009, 1234);
+
+    std::uint64_t memBefore = s.mem().fingerprint();
+    StepResult r = executeInst(inst, 0, 10, s, nullptr);
+
+    EXPECT_FALSE(r.qpTrue);
+    EXPECT_FALSE(r.taken);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.nextIndex, 1u) << "fall through";
+    EXPECT_EQ(s.readReg(5), 42) << "no register write";
+    EXPECT_TRUE(s.readPred(2)) << "no predicate write (non-unc)";
+    EXPECT_EQ(s.mem().fingerprint(), memBefore) << "no memory write";
+}
+
+// --- undo log random property ------------------------------------------
+
+class UndoProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoProperty,
+                         ::testing::Values(3, 17, 99, 12345));
+
+TEST_P(UndoProperty, RandomMutationsRollBackExactly)
+{
+    Rng rng(GetParam());
+    ArchState state;
+    UndoLog log;
+
+    // Baseline state.
+    for (unsigned r = 1; r < kNumIntRegs; ++r)
+        state.writeReg(static_cast<RegIdx>(r), rng.range(-5000, 5000));
+    for (unsigned p = 1; p < kNumPredRegs; ++p)
+        state.writePred(static_cast<PredIdx>(p), rng.chance(0.5));
+    for (int i = 0; i < 32; ++i)
+        state.mem().writeWord(0x40000 + 8 * rng.below(64),
+                              static_cast<UWord>(rng.next()));
+
+    std::uint64_t fpBefore = state.mem().fingerprint();
+    Word regsBefore[kNumIntRegs];
+    bool predsBefore[kNumPredRegs];
+    for (unsigned r = 0; r < kNumIntRegs; ++r)
+        regsBefore[r] = state.readReg(static_cast<RegIdx>(r));
+    for (unsigned p = 0; p < kNumPredRegs; ++p)
+        predsBefore[p] = state.readPred(static_cast<PredIdx>(p));
+
+    auto mark = log.mark();
+    for (int i = 0; i < 200; ++i) {
+        switch (rng.below(3)) {
+          case 0: {
+            RegIdx r = static_cast<RegIdx>(1 + rng.below(63));
+            log.recordReg(r, state.readReg(r));
+            state.writeReg(r, rng.range(-9999, 9999));
+            break;
+          }
+          case 1: {
+            PredIdx p = static_cast<PredIdx>(1 + rng.below(15));
+            log.recordPred(p, state.readPred(p));
+            state.writePred(p, rng.chance(0.5));
+            break;
+          }
+          default: {
+            Addr a = 0x40000 + 8 * rng.below(64);
+            log.recordMem(a, 8, state.mem().readWord(a));
+            state.mem().writeWord(a, static_cast<UWord>(rng.next()));
+            break;
+          }
+        }
+    }
+
+    log.rollbackTo(mark, state);
+    EXPECT_EQ(state.mem().fingerprint(), fpBefore);
+    for (unsigned r = 0; r < kNumIntRegs; ++r)
+        EXPECT_EQ(state.readReg(static_cast<RegIdx>(r)), regsBefore[r]);
+    for (unsigned p = 0; p < kNumPredRegs; ++p)
+        EXPECT_EQ(state.readPred(static_cast<PredIdx>(p)),
+                  predsBefore[p]);
+}
+
+} // namespace
+} // namespace wisc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the statistics package and the table formatting used
+ * by the experiment harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "harness/table.hh"
+
+namespace wisc {
+namespace {
+
+TEST(StatsTest, CounterBasics)
+{
+    StatSet s;
+    Counter &c = s.counter("a.b", "a counter");
+    ++c;
+    c += 5;
+    EXPECT_EQ(s.get("a.b"), 6u);
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_FALSE(s.has("nope"));
+    EXPECT_EQ(s.get("nope"), 0u);
+}
+
+TEST(StatsTest, CounterIsStableAcrossRegistrations)
+{
+    StatSet s;
+    Counter &c1 = s.counter("x");
+    ++c1;
+    Counter &c2 = s.counter("x");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(c2.value(), 1u);
+}
+
+TEST(StatsTest, ResetAll)
+{
+    StatSet s;
+    s.counter("x") += 10;
+    s.histogram("h", 4).sample(2);
+    s.resetAll();
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_EQ(s.histogram("h", 4).count(), 0u);
+}
+
+TEST(StatsTest, HistogramBucketsAndOverflow)
+{
+    StatSet s;
+    Histogram &h = s.histogram("h", 4);
+    h.sample(0);
+    h.sample(3);
+    h.sample(3);
+    h.sample(99); // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(StatsTest, DumpContainsNamesAndValues)
+{
+    StatSet s;
+    s.counter("core.cycles", "cycles") += 42;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("core.cycles"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(StatsTest, CounterNamesSorted)
+{
+    StatSet s;
+    s.counter("b");
+    s.counter("a");
+    auto names = s.counterNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(TableTest, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longername", "2.345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("longername"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+    EXPECT_EQ(Table::num(2.0, 1), "2.0");
+    EXPECT_EQ(Table::num(-0.5, 2), "-0.50");
+}
+
+} // namespace
+} // namespace wisc

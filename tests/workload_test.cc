@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Workload-suite tests, parameterized over all nine benchmarks: every
+ * binary variant of every kernel halts and computes the same result on
+ * every input set (the end-to-end compiler-correctness property), the
+ * wish binaries contain the expected branch populations, and inputs are
+ * deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/emulator.hh"
+#include "common/log.hh"
+#include "workloads/workload.hh"
+
+namespace wisc {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST_P(WorkloadSuite, AllVariantsEquivalentOnAllInputs)
+{
+    CompiledWorkload w = compileWorkload(GetParam());
+    for (InputSet in : {InputSet::A, InputSet::B, InputSet::C}) {
+        Word ref = 0;
+        std::uint64_t refMem = 0;
+        bool first = true;
+        for (BinaryVariant v : kAllVariants) {
+            Emulator emu;
+            EmuResult r = emu.run(programFor(w, v, in));
+            ASSERT_TRUE(r.halted)
+                << GetParam() << " " << variantName(v) << " "
+                << inputSetName(in);
+            if (first) {
+                ref = r.resultReg;
+                refMem = r.memFingerprint;
+                first = false;
+            } else {
+                EXPECT_EQ(r.resultReg, ref)
+                    << GetParam() << " " << variantName(v) << " "
+                    << inputSetName(in);
+                EXPECT_EQ(r.memFingerprint, refMem)
+                    << GetParam() << " " << variantName(v) << " "
+                    << inputSetName(in);
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadSuite, NormalBinaryHasNoWishBranches)
+{
+    CompiledWorkload w = compileWorkload(GetParam());
+    EXPECT_EQ(w.variants.at(BinaryVariant::Normal).staticWishBranches(),
+              0u);
+    EXPECT_EQ(w.variants.at(BinaryVariant::BaseDef).staticWishBranches(),
+              0u);
+    EXPECT_EQ(w.variants.at(BinaryVariant::BaseMax).staticWishBranches(),
+              0u);
+}
+
+TEST_P(WorkloadSuite, WishBinariesContainWishBranches)
+{
+    CompiledWorkload w = compileWorkload(GetParam());
+    const CompiledBinary &wjj = w.variants.at(BinaryVariant::WishJumpJoin);
+    EXPECT_GT(wjj.staticWishJumps, 0u)
+        << "every kernel has at least one wishable hammock";
+    EXPECT_EQ(wjj.staticWishLoops, 0u)
+        << "the jump/join binary must not convert loops (Table 3)";
+}
+
+TEST_P(WorkloadSuite, PredicationAddsDynamicNops)
+{
+    CompiledWorkload w = compileWorkload(GetParam());
+    Emulator emu;
+    EmuResult n = emu.run(programFor(w, BinaryVariant::Normal,
+                                     InputSet::A));
+    EmuResult m = emu.run(programFor(w, BinaryVariant::BaseMax,
+                                     InputSet::A));
+    // §2.2: predicated code fetches instructions whose predicates are
+    // FALSE.
+    EXPECT_GE(m.predFalse, n.predFalse);
+    EXPECT_GE(m.dynInsts, n.dynInsts);
+}
+
+TEST_P(WorkloadSuite, InputsAreDeterministic)
+{
+    auto a1 = workloadInput(GetParam(), InputSet::A);
+    auto a2 = workloadInput(GetParam(), InputSet::A);
+    ASSERT_EQ(a1.size(), a2.size());
+    for (std::size_t i = 0; i < a1.size(); ++i) {
+        EXPECT_EQ(a1[i].base, a2[i].base);
+        EXPECT_EQ(a1[i].words, a2[i].words);
+    }
+}
+
+TEST_P(WorkloadSuite, InputSetsDiffer)
+{
+    Emulator emu;
+    CompiledWorkload w = compileWorkload(GetParam());
+    EmuResult a =
+        emu.run(programFor(w, BinaryVariant::Normal, InputSet::A));
+    EmuResult c =
+        emu.run(programFor(w, BinaryVariant::Normal, InputSet::C));
+    // Different inputs must exercise the kernel differently (results
+    // and/or instruction counts differ).
+    EXPECT_TRUE(a.resultReg != c.resultReg || a.dynInsts != c.dynInsts);
+}
+
+TEST(WorkloadRegistryTest, NamesMatchPaperOrder)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.front(), "gzip");
+    EXPECT_EQ(names.back(), "twolf");
+}
+
+TEST(WorkloadRegistryTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(buildWorkloadFn("nonesuch"), FatalError);
+    EXPECT_THROW(workloadInput("nonesuch", InputSet::A), FatalError);
+}
+
+TEST(WorkloadRegistryTest, WishLoopBenchmarksHaveLoops)
+{
+    // gzip, vpr, parser, gap, and bzip2 are built with wish-loop
+    // candidates; mcf/crafty/vortex/twolf have none by design.
+    for (const char *name : {"gzip", "vpr", "parser", "gap", "bzip2"}) {
+        CompiledWorkload w = compileWorkload(name);
+        EXPECT_GT(w.variants.at(BinaryVariant::WishJumpJoinLoop)
+                      .staticWishLoops,
+                  0u)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace wisc
