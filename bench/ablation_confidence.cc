@@ -10,14 +10,17 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "ablation_confidence");
     printBanner(std::cout, "Ablation: JRS confidence estimator design",
                 "wish-jjl execution time normalized to the normal binary "
                 "(input A)");
@@ -32,33 +35,46 @@ main()
     headers.insert(headers.end(), benches.begin(), benches.end());
     Table t(headers);
 
-    for (unsigned hist : {0u, 8u, 16u}) {
-        for (unsigned thresh : {8u, 13u}) {
-            for (bool missHigh : {false, true}) {
-                std::vector<std::string> row = {
-                    std::to_string(hist), std::to_string(thresh),
-                    missHigh ? "high" : "low"};
-                for (auto &kv : compiled) {
-                    SimParams p;
-                    p.confHistBits = hist;
-                    p.confThreshold = thresh;
-                    p.confMissIsHigh = missHigh;
-                    double n = static_cast<double>(
-                        runWorkload(kv.second, BinaryVariant::Normal,
-                                    InputSet::A, p)
-                            .result.cycles);
-                    double w = static_cast<double>(
-                        runWorkload(kv.second,
-                                    BinaryVariant::WishJumpJoinLoop,
-                                    InputSet::A, p)
-                            .result.cycles);
-                    row.push_back(Table::num(w / n));
-                }
-                t.addRow(std::move(row));
-            }
+    struct Config
+    {
+        unsigned hist, thresh;
+        bool missHigh;
+    };
+    std::vector<Config> configs;
+    for (unsigned hist : {0u, 8u, 16u})
+        for (unsigned thresh : {8u, 13u})
+            for (bool missHigh : {false, true})
+                configs.push_back({hist, thresh, missHigh});
+
+    std::vector<std::vector<std::string>> rows(configs.size());
+    ParallelRunner pool;
+    pool.forEach(configs.size(), [&](std::size_t i) {
+        const Config &c = configs[i];
+        std::vector<std::string> row = {
+            std::to_string(c.hist), std::to_string(c.thresh),
+            c.missHigh ? "high" : "low"};
+        for (auto &kv : compiled) {
+            SimParams p;
+            p.confHistBits = c.hist;
+            p.confThreshold = c.thresh;
+            p.confMissIsHigh = c.missHigh;
+            double n = static_cast<double>(
+                runWorkload(kv.second, BinaryVariant::Normal,
+                            InputSet::A, p)
+                    .result.cycles);
+            double w = static_cast<double>(
+                runWorkload(kv.second,
+                            BinaryVariant::WishJumpJoinLoop,
+                            InputSet::A, p)
+                    .result.cycles);
+            row.push_back(Table::num(w / n));
         }
-    }
+        rows[i] = std::move(row);
+    });
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print(std::cout);
     std::cout << "\nDefault: hist=8, threshold=8, miss=low.\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

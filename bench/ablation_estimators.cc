@@ -10,14 +10,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "ablation_estimators");
     printBanner(std::cout, "Extension: confidence estimator comparison",
                 "wish-jjl execution time normalized to the normal binary "
                 "(input A)");
@@ -41,5 +43,6 @@ main()
     std::cout << "\nThe gap between each real estimator and the perfect "
                  "column is the §5.1 'better confidence estimator' "
                  "headroom (paper: 14.2% -> 16.2%).\n";
-    return 0;
+    cli.addResults("results", r);
+    return cli.finish();
 }

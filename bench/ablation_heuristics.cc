@@ -10,23 +10,31 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "ablation_heuristics");
     printBanner(std::cout, "Extension: compile-time wish heuristics",
                 "wish-jjl execution time normalized to the normal "
                 "binary, and static wish-branch counts (input A)");
 
-    Table t({"benchmark", "size-only", "profile-aware", "wish-br(size)",
-             "wish-br(profile)"});
-    double s1 = 0, s2 = 0;
-    unsigned n = 0;
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    struct Row
+    {
+        double rs, rp;
+        std::vector<std::string> cells;
+    };
+    std::vector<Row> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompileOptions sizeOnly;
         CompileOptions profAware;
         profAware.wishHeuristic = WishHeuristic::ProfileAware;
@@ -47,21 +55,30 @@ main()
                                     InputSet::A)
                             .result.cycles) /
                     base;
-        s1 += rs;
-        s2 += rp;
-        ++n;
-        t.addRow({name, Table::num(rs), Table::num(rp),
-                  std::to_string(
-                      ws.variants.at(BinaryVariant::WishJumpJoinLoop)
-                          .staticWishBranches()),
-                  std::to_string(
-                      wp.variants.at(BinaryVariant::WishJumpJoinLoop)
-                          .staticWishBranches())});
+        rows[i] = {rs, rp,
+                   {name, Table::num(rs), Table::num(rp),
+                    std::to_string(
+                        ws.variants.at(BinaryVariant::WishJumpJoinLoop)
+                            .staticWishBranches()),
+                    std::to_string(
+                        wp.variants.at(BinaryVariant::WishJumpJoinLoop)
+                            .staticWishBranches())}};
+    });
+
+    Table t({"benchmark", "size-only", "profile-aware", "wish-br(size)",
+             "wish-br(profile)"});
+    double s1 = 0, s2 = 0;
+    for (Row &row : rows) {
+        s1 += row.rs;
+        s2 += row.rp;
+        t.addRow(std::move(row.cells));
     }
+    const double n = static_cast<double>(names.size());
     t.addRow({"AVG", Table::num(s1 / n), Table::num(s2 / n), "", ""});
     t.print(std::cout);
     std::cout << "\nProfile-aware compilation emits fewer wish branches; "
                  "whether it wins depends on how well the train profile "
                  "predicts run-time behavior (Figure 1's caveat).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

@@ -8,22 +8,27 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "ablation_loop_bias");
     printBanner(std::cout, "Ablation: overestimating wish-loop predictor",
                 "wish-jjl relative time and loop-exit classification "
                 "(input A)");
 
-    Table t({"benchmark", "bias", "rel-time", "early", "late", "no-exit"});
-    for (const std::string &name :
-         {std::string("gzip"), std::string("vpr"), std::string("parser"),
-          std::string("bzip2"), std::string("gap")}) {
+    const std::vector<std::string> names = {"gzip", "vpr", "parser",
+                                            "bzip2", "gap"};
+    std::vector<std::vector<std::vector<std::string>>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         for (bool bias : {false, true}) {
             SimParams p;
@@ -33,15 +38,22 @@ main()
                     .result.cycles);
             RunOutcome r = runWorkload(
                 w, BinaryVariant::WishJumpJoinLoop, InputSet::A, p);
-            t.addRow({name, bias ? "on" : "off",
-                      Table::num(static_cast<double>(r.result.cycles) / n),
-                      std::to_string(r.stat("wish.loop.low.early_exit")),
-                      std::to_string(r.stat("wish.loop.low.late_exit")),
-                      std::to_string(r.stat("wish.loop.low.no_exit"))});
+            rows[i].push_back(
+                {name, bias ? "on" : "off",
+                 Table::num(static_cast<double>(r.result.cycles) / n),
+                 std::to_string(r.stat("wish.loop.low.early_exit")),
+                 std::to_string(r.stat("wish.loop.low.late_exit")),
+                 std::to_string(r.stat("wish.loop.low.no_exit"))});
         }
-    }
+    });
+
+    Table t({"benchmark", "bias", "rel-time", "early", "late", "no-exit"});
+    for (auto &bench : rows)
+        for (auto &row : bench)
+            t.addRow(std::move(row));
     t.print(std::cout);
     std::cout << "\nThe bias converts early exits (full flush) into late "
                  "exits (predicated NOPs, no flush).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

@@ -12,22 +12,28 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig01_input_dependence");
     printBanner(std::cout,
                 "Figure 1: predicated-code execution time vs. input set",
                 "BASE-MAX binary (every suitable region predicated), "
                 "normalized to the normal-branch binary on the same "
                 "input (< 1.0 means predication wins)");
 
-    Table t({"benchmark", "input-A", "input-B", "input-C"});
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    std::vector<std::vector<std::string>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         std::vector<std::string> row = {name};
         for (InputSet in : {InputSet::A, InputSet::B, InputSet::C}) {
@@ -37,10 +43,15 @@ main()
                 static_cast<double>(pred.result.cycles) /
                 static_cast<double>(base.result.cycles)));
         }
+        rows[i] = std::move(row);
+    });
+
+    Table t({"benchmark", "input-A", "input-B", "input-C"});
+    for (auto &row : rows)
         t.addRow(std::move(row));
-    }
     t.print(std::cout);
     std::cout << "\nPaper shape: predication generally helps but the sign"
                  " flips with the input for some benchmarks.\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

@@ -15,14 +15,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig02_overhead_breakdown");
     printBanner(std::cout,
                 "Figure 2: overhead sources of predicated execution",
                 "execution time normalized to the normal-branch binary "
@@ -50,5 +52,6 @@ main()
     std::cout << "\nPaper shape: BASE-MAX ~1.0 on average; removing "
                  "dependences then fetch overhead recovers predication's "
                  "win; PERFECT-CBP is best.\n";
-    return 0;
+    cli.addResults("results", r);
+    return cli.finish();
 }

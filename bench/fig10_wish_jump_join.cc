@@ -7,14 +7,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig10_wish_jump_join");
     printBanner(std::cout, "Figure 10: wish jump/join binaries",
                 "execution time normalized to the normal-branch binary "
                 "(input A)");
@@ -34,5 +36,6 @@ main()
     std::cout << "\nPaper shape: wish jump/join beats the normal binary "
                  "everywhere except mcf-like cases, recovers BASE-MAX's "
                  "mcf blowup, and perfect confidence only helps.\n";
-    return 0;
+    cli.addResults("results", r);
+    return cli.finish();
 }

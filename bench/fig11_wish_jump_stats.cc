@@ -10,21 +10,26 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig11_wish_jump_stats");
     printBanner(std::cout,
                 "Figure 11: dynamic wish jumps/joins per 1M retired µops",
                 "wish jump/join binary, real JRS confidence (input A)");
 
-    Table t({"benchmark", "low-correct", "low-mispred", "high-correct",
-             "high-mispred"});
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    std::vector<std::vector<std::string>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         RunOutcome r =
             runWorkload(w, BinaryVariant::WishJumpJoin, InputSet::A);
@@ -36,17 +41,23 @@ main()
                                   scale,
                               0);
         };
-        t.addRow({name,
-                  per1m("wish.jump.low.correct", "wish.join.low.correct"),
-                  per1m("wish.jump.low.mispred", "wish.join.low.mispred"),
-                  per1m("wish.jump.high.correct",
-                        "wish.join.high.correct"),
-                  per1m("wish.jump.high.mispred",
-                        "wish.join.high.mispred")});
-    }
+        rows[i] = {name,
+                   per1m("wish.jump.low.correct", "wish.join.low.correct"),
+                   per1m("wish.jump.low.mispred", "wish.join.low.mispred"),
+                   per1m("wish.jump.high.correct",
+                         "wish.join.high.correct"),
+                   per1m("wish.jump.high.mispred",
+                         "wish.join.high.mispred")};
+    });
+
+    Table t({"benchmark", "low-correct", "low-mispred", "high-correct",
+             "high-mispred"});
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print(std::cout);
     std::cout << "\nPaper shape: high-mispred is near zero everywhere; "
                  "low-correct is large on several benchmarks (room for a "
                  "better estimator, cf. the perf-conf bars of Fig 10).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

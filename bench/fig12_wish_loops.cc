@@ -8,14 +8,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig12_wish_loops");
     printBanner(std::cout, "Figure 12: wish jump/join/loop binaries",
                 "execution time normalized to the normal-branch binary "
                 "(input A)");
@@ -43,5 +45,8 @@ main()
               << Table::num(vsPred, 1)
               << "% over the best-performing predicated binary "
                  "(paper: 13.3%).\n";
-    return 0;
+    cli.addResults("results", r);
+    cli.add("improvement_vs_normal_pct", json::Value(vsNormal));
+    cli.add("improvement_vs_best_pred_pct", json::Value(vsPred));
+    return cli.finish();
 }

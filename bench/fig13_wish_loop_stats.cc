@@ -9,22 +9,27 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig13_wish_loop_stats");
     printBanner(std::cout,
                 "Figure 13: dynamic wish loops per 1M retired µops",
                 "wish jump/join/loop binary, real JRS confidence "
                 "(input A)");
 
-    Table t({"benchmark", "low-correct", "low-early", "low-late",
-             "low-noexit", "high-correct", "high-mispred"});
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    std::vector<std::vector<std::string>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         RunOutcome r =
             runWorkload(w, BinaryVariant::WishJumpJoinLoop, InputSet::A);
@@ -33,16 +38,22 @@ main()
         auto per1m = [&](const char *k) {
             return Table::num(static_cast<double>(r.stat(k)) * scale, 0);
         };
-        t.addRow({name, per1m("wish.loop.low.correct"),
-                  per1m("wish.loop.low.early_exit"),
-                  per1m("wish.loop.low.late_exit"),
-                  per1m("wish.loop.low.no_exit"),
-                  per1m("wish.loop.high.correct"),
-                  per1m("wish.loop.high.mispred")});
-    }
+        rows[i] = {name, per1m("wish.loop.low.correct"),
+                   per1m("wish.loop.low.early_exit"),
+                   per1m("wish.loop.low.late_exit"),
+                   per1m("wish.loop.low.no_exit"),
+                   per1m("wish.loop.high.correct"),
+                   per1m("wish.loop.high.mispred")};
+    });
+
+    Table t({"benchmark", "low-correct", "low-early", "low-late",
+             "low-noexit", "high-correct", "high-mispred"});
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print(std::cout);
     std::cout << "\nPaper shape: benchmarks with many low-confidence "
                  "late-exit loops (vpr/parser/bzip2-like) gain >3% from "
                  "wish loops.\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

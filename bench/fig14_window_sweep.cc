@@ -7,14 +7,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig14_window_sweep");
     printBanner(std::cout, "Figure 14: instruction window sweep",
                 "AVG / AVGnomcf execution time normalized to the "
                 "normal-branch binary on the same machine (input A)");
@@ -45,5 +47,6 @@ main()
     t.print(std::cout);
     std::cout << "\nPaper shape: the wish binaries' improvement grows "
                  "with window size (11.4% -> 13.0% -> 14.2%).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

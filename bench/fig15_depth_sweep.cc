@@ -7,14 +7,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig15_depth_sweep");
     printBanner(std::cout, "Figure 15: pipeline depth sweep",
                 "AVG / AVGnomcf execution time normalized to the "
                 "normal-branch binary on the same machine "
@@ -47,5 +49,6 @@ main()
     t.print(std::cout);
     std::cout << "\nPaper shape: wish-branch improvement grows with "
                  "pipeline depth (8.0% -> 11.0% -> 13.0%).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

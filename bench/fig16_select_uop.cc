@@ -9,14 +9,16 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "fig16_select_uop");
     printBanner(std::cout, "Figure 16: select-uop predication mechanism",
                 "execution time normalized to the normal-branch binary "
                 "on the select-uop machine (input A)");
@@ -41,5 +43,6 @@ main()
     std::cout << "\nPaper shape: vs. C-style (Fig 12), predicated "
                  "binaries get relatively slower, wish binaries keep "
                  "most of their advantage.\n";
-    return 0;
+    cli.addResults("results", r);
+    return cli.finish();
 }

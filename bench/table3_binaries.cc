@@ -9,31 +9,43 @@
 
 #include <iostream>
 
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "table3_binaries");
     printBanner(std::cout, "Table 3: compiled binary variants",
                 "static instruction and branch composition per variant");
 
-    Table t({"benchmark", "variant", "uops", "cond-br", "wish-jump",
-             "wish-join", "wish-loop"});
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    std::vector<std::vector<std::vector<std::string>>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         for (BinaryVariant v : kAllVariants) {
             const CompiledBinary &b = w.variants.at(v);
-            t.addRow({name, variantName(v),
-                      std::to_string(b.program.size()),
-                      std::to_string(b.staticCondBranches),
-                      std::to_string(b.staticWishJumps),
-                      std::to_string(b.staticWishJoins),
-                      std::to_string(b.staticWishLoops)});
+            rows[i].push_back({name, variantName(v),
+                               std::to_string(b.program.size()),
+                               std::to_string(b.staticCondBranches),
+                               std::to_string(b.staticWishJumps),
+                               std::to_string(b.staticWishJoins),
+                               std::to_string(b.staticWishLoops)});
         }
-    }
+    });
+
+    Table t({"benchmark", "variant", "uops", "cond-br", "wish-jump",
+             "wish-join", "wish-loop"});
+    for (auto &bench : rows)
+        for (auto &row : bench)
+            t.addRow(std::move(row));
     t.print(std::cout);
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

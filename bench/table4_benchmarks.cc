@@ -9,14 +9,17 @@
 #include <iostream>
 
 #include "arch/emulator.hh"
+#include "harness/bench_cli.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv, "table4_benchmarks");
     printBanner(std::cout, "Table 4: simulated benchmarks",
                 "normal binary characteristics (input A) and wish "
                 "jump/join/loop binary wish-branch population");
@@ -25,7 +28,11 @@ main()
              "misp/1Kuop", "uPC", "static-wish(%loop)",
              "dyn-wish(%loop)"});
 
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> &names = workloadNames();
+    std::vector<std::vector<std::string>> rows(names.size());
+    ParallelRunner pool;
+    pool.forEach(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
 
         RunOutcome n = runWorkload(w, BinaryVariant::Normal, InputSet::A);
@@ -57,21 +64,24 @@ main()
                           static_cast<double>(dynWish)
                     : 0.0;
 
-        t.addRow({name,
-                  std::to_string(n.result.retiredUops),
-                  std::to_string(
-                      w.variants.at(BinaryVariant::Normal)
-                          .staticCondBranches),
-                  std::to_string(n.stat("core.cond_branches")),
-                  Table::num(n.mispredictsPer1K(), 1),
-                  Table::num(n.result.ipc(), 2),
-                  std::to_string(staticWish) + " (" +
-                      Table::num(staticLoopPct, 0) + "%)",
-                  std::to_string(dynWish) + " (" +
-                      Table::num(dynLoopPct, 0) + "%)"});
-    }
+        rows[i] = {name,
+                   std::to_string(n.result.retiredUops),
+                   std::to_string(
+                       w.variants.at(BinaryVariant::Normal)
+                           .staticCondBranches),
+                   std::to_string(n.require("core.cond_branches")),
+                   Table::num(n.mispredictsPer1K(), 1),
+                   Table::num(n.result.ipc(), 2),
+                   std::to_string(staticWish) + " (" +
+                       Table::num(staticLoopPct, 0) + "%)",
+                   std::to_string(dynWish) + " (" +
+                       Table::num(dynLoopPct, 0) + "%)"};
+    });
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print(std::cout);
     std::cout << "\nPaper shape: mispredictions per 1K µops vary from "
                  "~1 (gap, vortex) to ~9 (gzip, parser, bzip2).\n";
-    return 0;
+    cli.addTable("table", t);
+    return cli.finish();
 }

@@ -1,0 +1,549 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wisc {
+namespace json {
+
+namespace {
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null: return "null";
+      case Value::Kind::Bool: return "bool";
+      case Value::Kind::Uint: return "uint";
+      case Value::Kind::Int: return "int";
+      case Value::Kind::Double: return "double";
+      case Value::Kind::String: return "string";
+      case Value::Kind::Array: return "array";
+      case Value::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c; // UTF-8 passes through verbatim
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        os << "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+}
+
+/** Recursive-descent parser over a string view of the input. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        wisc_fatal("JSON parse error at offset ", pos_, ": ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > 200)
+            fail("nesting too deep");
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return Value(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Value(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Value(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Value();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        expect('{');
+        Value v = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v[key] = parseValue(depth + 1);
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        expect('[');
+        Value v = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.push(parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = peek();
+            ++pos_;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        auto hex4 = [&]() -> unsigned {
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+                char c = peek();
+                ++pos_;
+                v <<= 4;
+                if (c >= '0' && c <= '9')
+                    v |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    v |= static_cast<unsigned>(c - 'A' + 10);
+                else
+                    fail("bad \\u escape");
+            }
+            return v;
+        };
+        std::uint32_t cp = hex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            // Surrogate pair.
+            if (!consumeLiteral("\\u"))
+                fail("unpaired surrogate");
+            std::uint32_t lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+                fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        }
+        // Encode as UTF-8.
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        bool neg = false, isFloat = false;
+        if (peek() == '-') {
+            neg = true;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isFloat = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start + (neg ? 1u : 0u))
+            fail("bad number");
+        std::string tok = text_.substr(start, pos_ - start);
+        if (!isFloat) {
+            // Integers keep full 64-bit precision.
+            if (neg) {
+                std::int64_t v = 0;
+                auto res = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (res.ec != std::errc() ||
+                    res.ptr != tok.data() + tok.size())
+                    fail("bad integer");
+                return Value(v);
+            }
+            std::uint64_t v = 0;
+            auto res =
+                std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (res.ec != std::errc() ||
+                res.ptr != tok.data() + tok.size())
+                fail("bad integer");
+            return Value(v);
+        }
+        double d = 0.0;
+        auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+            fail("bad number");
+        return Value(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        wisc_fatal("JSON value is ", kindName(kind_), ", not bool");
+    return bool_;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (kind_ == Kind::Uint)
+        return uint_;
+    if (kind_ == Kind::Int && int_ >= 0)
+        return static_cast<std::uint64_t>(int_);
+    wisc_fatal("JSON value is ", kindName(kind_), ", not uint");
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Uint &&
+        uint_ <= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max()))
+        return static_cast<std::int64_t>(uint_);
+    wisc_fatal("JSON value is ", kindName(kind_), ", not int");
+}
+
+double
+Value::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Double: return double_;
+      case Kind::Uint: return static_cast<double>(uint_);
+      case Kind::Int: return static_cast<double>(int_);
+      default:
+        wisc_fatal("JSON value is ", kindName(kind_), ", not numeric");
+    }
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        wisc_fatal("JSON value is ", kindName(kind_), ", not string");
+    return str_;
+}
+
+Value &
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array)
+        wisc_fatal("push() on JSON ", kindName(kind_));
+    arr_.push_back(std::move(v));
+    return arr_.back();
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    wisc_fatal("size() on JSON ", kindName(kind_));
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array)
+        wisc_fatal("at(index) on JSON ", kindName(kind_));
+    if (i >= arr_.size())
+        wisc_fatal("JSON array index ", i, " out of range (size ",
+                   arr_.size(), ")");
+    return arr_[i];
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (kind_ != Kind::Object)
+        wisc_fatal("operator[] on JSON ", kindName(kind_));
+    for (auto &kv : obj_)
+        if (kv.first == key)
+            return kv.second;
+    obj_.emplace_back(key, Value());
+    return obj_.back().second;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        wisc_fatal("find() on JSON ", kindName(kind_));
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        wisc_fatal("JSON object has no member '", key, "'");
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        wisc_fatal("members() on JSON ", kindName(kind_));
+    return obj_;
+}
+
+void
+Value::writeImpl(std::ostream &os, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        os << '\n';
+        for (int i = 0; i < d * indent; ++i)
+            os << ' ';
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uint_;
+        break;
+      case Kind::Int:
+        os << int_;
+        break;
+      case Kind::Double:
+        writeDouble(os, double_);
+        break;
+      case Kind::String:
+        writeEscaped(os, str_);
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            arr_[i].writeImpl(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            writeEscaped(os, obj_[i].first);
+            os << (indent > 0 ? ": " : ":");
+            obj_[i].second.writeImpl(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Value::write(std::ostream &os, int indent) const
+{
+    writeImpl(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace json
+} // namespace wisc

@@ -17,6 +17,8 @@ Histogram &
 StatSet::histogram(const std::string &name, std::size_t buckets,
                    const std::string &desc)
 {
+    if (buckets == 0)
+        wisc_fatal("histogram '", name, "' registered with zero buckets");
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_.emplace(name, HistEntry{desc, Histogram(buckets)})
@@ -32,10 +34,30 @@ StatSet::get(const std::string &name) const
     return it == counters_.end() ? 0 : it->second.counter.value();
 }
 
+std::uint64_t
+StatSet::require(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        wisc_fatal("unknown statistic '", name,
+                   "' (misspelled name, or the component that registers "
+                   "it never ran)");
+    return it->second.counter.value();
+}
+
 bool
 StatSet::has(const std::string &name) const
 {
     return counters_.count(name) != 0;
+}
+
+const Histogram &
+StatSet::requireHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        wisc_fatal("unknown histogram '", name, "'");
+    return it->second.hist;
 }
 
 void
@@ -58,8 +80,22 @@ StatSet::dump(std::ostream &os) const
         os << "\n";
     }
     for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second.hist;
         os << std::left << std::setw(44) << kv.first
-           << " (histogram, n=" << kv.second.hist.count() << ")\n";
+           << " (histogram, n=" << h.count() << ")";
+        if (!kv.second.desc.empty())
+            os << "  # " << kv.second.desc;
+        os << "\n";
+        for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+            if (!h.bucket(i))
+                continue;
+            os << "  " << std::left << std::setw(42)
+               << ((i + 1 == h.numBuckets())
+                       ? ">=" + std::to_string(i)
+                       : std::to_string(i))
+               << " " << std::right << std::setw(14) << h.bucket(i)
+               << "\n";
+        }
     }
 }
 
@@ -69,6 +105,16 @@ StatSet::counterNames() const
     std::vector<std::string> names;
     names.reserve(counters_.size());
     for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+StatSet::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &kv : histograms_)
         names.push_back(kv.first);
     return names;
 }

@@ -6,6 +6,12 @@
  * reads them by name after a simulation run and the StatSet can dump itself
  * in a human-readable form. Counters are plain uint64 values; formulas
  * (ratios such as IPC) are computed by the reader.
+ *
+ * Readers have two lookup flavors: get() tolerates unknown names (for
+ * statistics that are only registered when the event occurs, such as the
+ * per-class wish-branch counters), while require() treats an unknown name
+ * as a hard configuration error — use it for statistics the simulator
+ * always registers, so a misspelled name cannot silently read as zero.
  */
 
 #ifndef WISC_COMMON_STATS_HH_
@@ -16,6 +22,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/log.hh"
 
 namespace wisc {
 
@@ -35,18 +43,36 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
-/** A bounded histogram with an overflow bucket. */
+/**
+ * A bounded histogram with an overflow bucket.
+ *
+ * Geometry is fixed at construction: `buckets` regular buckets for the
+ * values 0..buckets-1 plus one overflow bucket. Constructing with zero
+ * buckets is a hard error — a zero-bucket histogram would collapse every
+ * sample into the overflow bucket and read as plausible-but-meaningless
+ * data. The default constructor exists only so Histogram can live in
+ * containers; sampling an unconfigured histogram panics.
+ */
 class Histogram
 {
   public:
-    explicit Histogram(std::size_t buckets = 0) : buckets_(buckets + 1) {}
+    /** An unconfigured histogram; sample() panics until it is replaced
+     *  by one with real geometry. */
+    Histogram() = default;
+
+    explicit Histogram(std::size_t buckets) : buckets_(buckets + 1)
+    {
+        if (buckets == 0)
+            wisc_fatal("histogram constructed with zero buckets; "
+                       "give it explicit geometry");
+    }
 
     /** Record one sample; samples >= bucket count land in the last bucket. */
     void
     sample(std::size_t v)
     {
-        if (buckets_.empty())
-            buckets_.resize(1);
+        wisc_assert(!buckets_.empty(),
+                    "sample() on an unconfigured histogram");
         if (v >= buckets_.size())
             v = buckets_.size() - 1;
         ++buckets_[v];
@@ -82,15 +108,21 @@ class StatSet
     /** Register (or look up) a counter with a description. */
     Counter &counter(const std::string &name, const std::string &desc = "");
 
-    /** Register (or look up) a histogram. */
+    /** Register (or look up) a histogram. buckets must be nonzero. */
     Histogram &histogram(const std::string &name, std::size_t buckets,
                          const std::string &desc = "");
 
     /** Value of a counter by name; 0 if never registered. */
     std::uint64_t get(const std::string &name) const;
 
+    /** Value of a counter by name; hard error if never registered. */
+    std::uint64_t require(const std::string &name) const;
+
     /** True iff a counter with this name exists. */
     bool has(const std::string &name) const;
+
+    /** Read access to a registered histogram; hard error if unknown. */
+    const Histogram &requireHistogram(const std::string &name) const;
 
     /** Reset every registered statistic to zero. */
     void resetAll();
@@ -100,6 +132,9 @@ class StatSet
 
     /** All counter names (sorted), e.g. for introspection in tests. */
     std::vector<std::string> counterNames() const;
+
+    /** All histogram names (sorted). */
+    std::vector<std::string> histogramNames() const;
 
   private:
     struct Entry

@@ -1,0 +1,86 @@
+#include "harness/bench_cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/log.hh"
+#include "harness/json_writer.hh"
+#include "harness/parallel_runner.hh"
+
+namespace wisc {
+
+BenchCli::BenchCli(int argc, char **argv, std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << name_ << ": --json requires a path\n";
+                std::exit(2);
+            }
+            path_ = argv[++i];
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "usage: " << name_ << " [--json PATH]\n"
+                      << "\n"
+                      << "  --json PATH   also write the results as JSON "
+                         "(WISC_RESULTS_JSON env\n"
+                      << "                variable is the fallback "
+                         "destination)\n"
+                      << "\n"
+                      << "  WISC_JOBS=N   worker threads for the "
+                         "simulation sweep (default: all cores)\n";
+            std::exit(0);
+        } else {
+            std::cerr << name_ << ": unknown option '" << a
+                      << "' (try --help)\n";
+            std::exit(2);
+        }
+    }
+    if (path_.empty()) {
+        if (const char *env = std::getenv("WISC_RESULTS_JSON"))
+            path_ = env;
+    }
+    doc_["bench"] = name_;
+    doc_["schema_version"] = 1u;
+}
+
+void
+BenchCli::add(const std::string &key, json::Value v)
+{
+    doc_[key] = std::move(v);
+}
+
+void
+BenchCli::addResults(const std::string &key, const NormalizedResults &r)
+{
+    doc_[key] = toJson(r);
+}
+
+void
+BenchCli::addTable(const std::string &key, const Table &t)
+{
+    doc_[key] = toJson(t);
+}
+
+int
+BenchCli::finish()
+{
+    if (path_.empty())
+        return 0;
+    doc_["jobs"] = ParallelRunner::defaultJobs();
+    doc_["wall_seconds"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    try {
+        writeJsonFile(path_, doc_);
+    } catch (const FatalError &e) {
+        std::cerr << name_ << ": " << e.what() << "\n";
+        return 1;
+    }
+    std::cerr << name_ << ": wrote " << path_ << "\n";
+    return 0;
+}
+
+} // namespace wisc

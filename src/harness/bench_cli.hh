@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared command line for the bench/ experiment binaries.
+ *
+ * Every bench binary prints its paper-style table to stdout exactly as
+ * before; on top of that, `--json PATH` (or the WISC_RESULTS_JSON
+ * environment variable when the flag is absent) writes a structured
+ * document:
+ *
+ *   { "bench": name, "schema_version": 1, "jobs": N,
+ *     "wall_seconds": t, <sections added via add()/addResults()/...> }
+ *
+ * This is what produces the repo's BENCH_*.json trajectory files.
+ */
+
+#ifndef WISC_HARNESS_BENCH_CLI_HH_
+#define WISC_HARNESS_BENCH_CLI_HH_
+
+#include <chrono>
+#include <string>
+
+#include "common/json.hh"
+#include "harness/experiments.hh"
+#include "harness/table.hh"
+
+namespace wisc {
+
+class BenchCli
+{
+  public:
+    /** Parses argv; exits with usage on unknown flags. */
+    BenchCli(int argc, char **argv, std::string name);
+
+    /** True when a --json/WISC_RESULTS_JSON destination is set. */
+    bool jsonRequested() const { return !path_.empty(); }
+
+    /** Attach a section to the emitted document. */
+    void add(const std::string &key, json::Value v);
+    void addResults(const std::string &key, const NormalizedResults &r);
+    void addTable(const std::string &key, const Table &t);
+
+    /** Write the document if requested. Returns the process exit code. */
+    int finish();
+
+  private:
+    std::string name_;
+    std::string path_;
+    json::Value doc_ = json::Value::object();
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace wisc
+
+#endif // WISC_HARNESS_BENCH_CLI_HH_

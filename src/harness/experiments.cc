@@ -1,5 +1,8 @@
 #include "harness/experiments.hh"
 
+#include <map>
+
+#include "harness/parallel_runner.hh"
 #include "harness/table.hh"
 
 namespace wisc {
@@ -7,7 +10,8 @@ namespace wisc {
 NormalizedResults
 runNormalizedExperiment(const std::vector<SeriesSpec> &series,
                         InputSet input, const SimParams &baselineParams,
-                        const std::vector<std::string> &benchmarks)
+                        const std::vector<std::string> &benchmarks,
+                        unsigned jobs)
 {
     NormalizedResults out;
     out.benchmarks = benchmarks;
@@ -16,18 +20,53 @@ runNormalizedExperiment(const std::vector<SeriesSpec> &series,
     out.avg.assign(series.size(), 0.0);
     out.avgNoMcf.assign(series.size(), 0.0);
 
+    ParallelRunner pool(jobs);
+    const std::size_t nb = benchmarks.size();
+    const std::size_t runsPer = series.size() + 1; // slot 0 = baseline
+
+    // Phase 1: compile each workload once and build each distinct
+    // variant's program once. Programs are immutable during simulation,
+    // so the run jobs share them read-only.
+    std::vector<std::map<BinaryVariant, Program>> progs(nb);
+    pool.forEach(nb, [&](std::size_t b) {
+        CompiledWorkload w = compileWorkload(benchmarks[b]);
+        auto &byVariant = progs[b];
+        byVariant.emplace(BinaryVariant::Normal,
+                          programFor(w, BinaryVariant::Normal, input));
+        for (const SeriesSpec &s : series)
+            if (!byVariant.count(s.variant))
+                byVariant.emplace(s.variant,
+                                  programFor(w, s.variant, input));
+    });
+
+    // Phase 2: every (benchmark, run) cell is an independent job with
+    // its own Core and StatSet.
+    std::vector<RunOutcome> runs(nb * runsPer);
+    pool.forEach(nb * runsPer, [&](std::size_t k) {
+        const std::size_t b = k / runsPer;
+        const std::size_t r = k % runsPer;
+        const BinaryVariant v =
+            r == 0 ? BinaryVariant::Normal : series[r - 1].variant;
+        const SimParams &p =
+            r == 0 ? baselineParams : series[r - 1].params;
+        runs[k] = runProgram(progs[b].at(v), p);
+    });
+
+    // Reassemble in benchmark/series order: identical arithmetic to a
+    // serial sweep, so the matrix is independent of the worker count.
     unsigned noMcfCount = 0;
-    for (const std::string &name : benchmarks) {
-        CompiledWorkload w = compileWorkload(name);
-        RunOutcome base =
-            runWorkload(w, BinaryVariant::Normal, input, baselineParams);
+    for (std::size_t b = 0; b < nb; ++b) {
+        const std::string &name = benchmarks[b];
+        RunOutcome &base = runs[b * runsPer];
 
         std::vector<double> row;
-        for (const SeriesSpec &s : series) {
-            RunOutcome r = runWorkload(w, s.variant, input, s.params);
+        std::vector<RunOutcome> rowOutcomes;
+        for (std::size_t s = 0; s < series.size(); ++s) {
+            RunOutcome &r = runs[b * runsPer + s + 1];
             double rel = static_cast<double>(r.result.cycles) /
                          static_cast<double>(base.result.cycles);
             row.push_back(rel);
+            rowOutcomes.push_back(std::move(r));
         }
         for (std::size_t i = 0; i < row.size(); ++i) {
             out.avg[i] += row[i];
@@ -37,6 +76,8 @@ runNormalizedExperiment(const std::vector<SeriesSpec> &series,
         if (name != "mcf")
             ++noMcfCount;
         out.relTime.push_back(std::move(row));
+        out.outcomes.push_back(std::move(rowOutcomes));
+        out.baseline.push_back(std::move(base));
     }
 
     for (std::size_t i = 0; i < series.size(); ++i) {

@@ -1,0 +1,125 @@
+#include "harness/parallel_runner.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+unsigned
+ParallelRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("WISC_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<unsigned>(v);
+        wisc_warn("ignoring invalid WISC_JOBS='", env,
+                  "' (want an integer in [1, 4096])");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+    if (jobs_ <= 1)
+        return; // inline mode: no workers, no queue
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions are captured in the task's future
+    }
+}
+
+std::future<void>
+ParallelRunner::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> pt(std::move(task));
+    std::future<void> fut = pt.get_future();
+    if (jobs_ <= 1) {
+        pt(); // inline: run now, future carries any exception
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        queue_.push_back(std::move(pt));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+ParallelRunner::forEach(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs_ <= 1 || n == 1) {
+        // Same semantics as the pooled path: every task runs, the
+        // first failure is rethrown at the end.
+        std::exception_ptr firstInline;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!firstInline)
+                    firstInline = std::current_exception();
+            }
+        }
+        if (firstInline)
+            std::rethrow_exception(firstInline);
+        return;
+    }
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futs.push_back(submit([&body, i] { body(i); }));
+
+    // Wait for everything, then rethrow the first failure so the
+    // remaining tasks are never left referencing dead stack frames.
+    std::exception_ptr first;
+    for (std::future<void> &f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace wisc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Thread pool for fanning independent simulations out across cores.
+ *
+ * Every (benchmark, series, input) simulation in an experiment is an
+ * independent job with its own Core and StatSet; only the compiled
+ * workloads/programs are shared, and those are read-only during runs.
+ * The pool therefore needs no locking beyond its own task queue, and —
+ * because each simulation is deterministic — results are bit-identical
+ * no matter how many workers execute the jobs or in what order they
+ * finish.
+ *
+ * Sizing: explicit constructor argument > WISC_JOBS environment
+ * variable > std::thread::hardware_concurrency(). A size of 1 runs
+ * every task inline on the caller's thread (the exact serial path, no
+ * threads spawned), which is also the fallback wherever threads are
+ * unavailable.
+ */
+
+#ifndef WISC_HARNESS_PARALLEL_RUNNER_HH_
+#define WISC_HARNESS_PARALLEL_RUNNER_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wisc {
+
+class ParallelRunner
+{
+  public:
+    /** jobs == 0 resolves via WISC_JOBS, then hardware_concurrency(). */
+    explicit ParallelRunner(unsigned jobs = 0);
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    /** Worker count this pool was sized to (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Enqueue one task; the future rethrows any exception it threw. */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(0) .. body(n-1) across the pool and wait for all of
+     * them. Exceptions propagate: the first failing index's exception
+     * is rethrown here (remaining tasks still run to completion).
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+    /** The pool size a default-constructed runner would use. */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    unsigned jobs_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace wisc
+
+#endif // WISC_HARNESS_PARALLEL_RUNNER_HH_

@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include "common/log.hh"
+
 namespace wisc {
 
 namespace {
@@ -12,10 +14,29 @@ capture(const Program &prog, const SimParams &params)
     out.result = simulate(prog, params, stats);
     for (const std::string &name : stats.counterNames())
         out.stats[name] = stats.get(name);
+    for (const std::string &name : stats.histogramNames()) {
+        const Histogram &h = stats.requireHistogram(name);
+        HistogramSnapshot snap;
+        snap.count = h.count();
+        snap.buckets.reserve(h.numBuckets());
+        for (std::size_t i = 0; i < h.numBuckets(); ++i)
+            snap.buckets.push_back(h.bucket(i));
+        out.hists.emplace(name, std::move(snap));
+    }
     return out;
 }
 
 } // namespace
+
+std::uint64_t
+RunOutcome::require(const std::string &name) const
+{
+    auto it = stats.find(name);
+    if (it == stats.end())
+        wisc_fatal("run produced no statistic '", name,
+                   "' (misspelled name?)");
+    return it->second;
+}
 
 RunOutcome
 runWorkload(const CompiledWorkload &w, BinaryVariant v, InputSet input,

@@ -2,7 +2,9 @@
  * @file
  * Experiment runner: executes a compiled workload variant on the timing
  * core and captures both the headline result and a snapshot of every
- * statistic, so experiment binaries can post-process freely.
+ * statistic — counters *and* histograms — so experiment binaries can
+ * post-process freely (and the JSON emitter can serialize complete
+ * runs).
  */
 
 #ifndef WISC_HARNESS_RUNNER_HH_
@@ -10,18 +12,34 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "uarch/core.hh"
 #include "workloads/workload.hh"
 
 namespace wisc {
 
+/** Value snapshot of one histogram (bucket i counts value i; the last
+ *  bucket is the overflow bucket). */
+struct HistogramSnapshot
+{
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+};
+
 /** Everything one simulation produced. */
 struct RunOutcome
 {
     SimResult result;
     std::map<std::string, std::uint64_t> stats;
+    std::map<std::string, HistogramSnapshot> hists;
 
+    /**
+     * Counter value, tolerant of absent names. Use only for statistics
+     * that are legitimately registration-on-first-event (the per-class
+     * wish.* counters); for always-present statistics use require(), so
+     * a misspelled name cannot silently read as zero.
+     */
     std::uint64_t
     stat(const std::string &name) const
     {
@@ -29,13 +47,17 @@ struct RunOutcome
         return it == stats.end() ? 0 : it->second;
     }
 
+    /** Counter value; hard error (FatalError) if the run never
+     *  registered the name. */
+    std::uint64_t require(const std::string &name) const;
+
     /** Mispredicted conditional branches per 1000 retired µops. */
     double
     mispredictsPer1K() const
     {
         return result.retiredUops
                    ? 1000.0 * static_cast<double>(
-                                  stat("core.branch_mispredicts")) /
+                                  require("core.branch_mispredicts")) /
                          static_cast<double>(result.retiredUops)
                    : 0.0;
     }

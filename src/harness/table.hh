@@ -25,6 +25,13 @@ class Table
 
     void print(std::ostream &os) const;
 
+    /** Raw cells, e.g. for JSON export. */
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -65,6 +65,10 @@ Core::Core(const SimParams &params, StatSet &stats)
                                    "retired cond. branches whose "
                                    "prediction was wrong");
     cFlushes_ = &stats.counter("core.flushes", "pipeline flushes");
+    hFetchWidth_ = &stats.histogram("core.fetch_width", params.fetchWidth,
+                                    "µops delivered per fetching cycle");
+    hFlushSquash_ = &stats.histogram("core.flush_squash", 64,
+                                     "µops squashed per pipeline flush");
 }
 
 // ---------------------------------------------------------------------
@@ -487,6 +491,7 @@ Core::stageFetch()
         if (di.step.halted)
             break;
     }
+    hFetchWidth_->sample(params_.fetchWidth - slots);
 }
 
 // ---------------------------------------------------------------------
@@ -773,6 +778,7 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
                  bool recoverBpred)
 {
     ++*cFlushes_;
+    std::size_t squashed = fetchQueue_.size();
 
     // Everything in the fetch queue is younger than anything renamed.
     if (tracer_)
@@ -793,8 +799,10 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
                 predProducer_[di.claimedPred[s]] =
                     di.prevPredProducer[s];
         rob_.pop_back();
+        ++squashed;
     }
     nextSeq_ = branch.seq + 1;
+    hFlushSquash_->sample(squashed);
 
     iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
                              [&](SeqNum s) { return s > branch.seq; }),
@@ -955,6 +963,7 @@ Core::run(const Program &prog)
     // 64 KB L1I, so a cold-start I-cache would only add noise.
     memsys_.warmText(kTextBase, codeSize_ * kInstBytes);
 
+    const bool trace = getenv("WISC_TRACE") != nullptr;
     while (!haltRetired_ && now_ < params_.maxCycles &&
            retiredUops_ < params_.maxRetired) {
         stageRetire();
@@ -964,7 +973,7 @@ Core::run(const Program &prog)
         stageIssue();
         stageRename();
         stageFetch();
-        if (getenv("WISC_TRACE"))
+        if (trace)
             fprintf(stderr, "c%llu fq=%zu rob=%zu iq=%zu fpc=%u stall=%llu\n",
                     (unsigned long long)now_, fetchQueue_.size(), rob_.size(),
                     iq_.size(), fetchPc_, (unsigned long long)fetchStallUntil_);

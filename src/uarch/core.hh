@@ -232,6 +232,8 @@ class Core
     Counter *cCondBranches_;
     Counter *cMispredicts_;
     Counter *cFlushes_;
+    Histogram *hFetchWidth_;
+    Histogram *hFlushSquash_;
 };
 
 /** Convenience: simulate a program with the given configuration. */

@@ -26,6 +26,38 @@ TEST(RunnerTest, CapturesStatsSnapshot)
     EXPECT_GT(r.mispredictsPer1K(), 0.0);
 }
 
+TEST(RunnerTest, CapturesHistogramSnapshot)
+{
+    CompiledWorkload w = compileWorkload("crafty");
+    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    // The core always registers these histograms; losing them in
+    // capture() was a real stat-export bug.
+    ASSERT_TRUE(r.hists.count("core.fetch_width"));
+    ASSERT_TRUE(r.hists.count("core.flush_squash"));
+
+    const HistogramSnapshot &h = r.hists.at("core.fetch_width");
+    EXPECT_GT(h.count, 0u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t b : h.buckets)
+        sum += b;
+    EXPECT_EQ(sum, h.count);
+    // One sample per fetching cycle, so bounded by total cycles.
+    EXPECT_LE(h.count, r.result.cycles);
+
+    const HistogramSnapshot &f = r.hists.at("core.flush_squash");
+    EXPECT_EQ(f.count, r.require("core.flushes"));
+}
+
+TEST(RunnerTest, RequirePanicsOnUnknownStat)
+{
+    CompiledWorkload w = compileWorkload("crafty");
+    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    EXPECT_EQ(r.require("core.cycles"), r.result.cycles);
+    EXPECT_THROW(r.require("core.cycels"), FatalError);
+    // stat() stays tolerant for registration-on-first-event names.
+    EXPECT_EQ(r.stat("wish.never.registered"), 0u);
+}
+
 TEST(RunnerTest, RunsAreReproducible)
 {
     CompiledWorkload w = compileWorkload("crafty");

@@ -46,6 +46,39 @@ TEST(StatsTest, ResetAll)
     EXPECT_EQ(s.histogram("h", 4).count(), 0u);
 }
 
+TEST(StatsTest, RequireIsCheckedLookup)
+{
+    StatSet s;
+    s.counter("core.cycles") += 42;
+    EXPECT_EQ(s.require("core.cycles"), 42u);
+    // A misspelled name is a hard error, never a plausible zero.
+    EXPECT_THROW(s.require("core.cycels"), FatalError);
+}
+
+TEST(StatsTest, ZeroBucketHistogramIsRejected)
+{
+    StatSet s;
+    EXPECT_THROW(s.histogram("h", 0), FatalError);
+    EXPECT_THROW(Histogram(0), FatalError);
+}
+
+TEST(StatsTest, UnconfiguredHistogramSamplePanics)
+{
+    Histogram h; // container-placeholder state, no geometry
+    EXPECT_DEATH(h.sample(1), "unconfigured histogram");
+}
+
+TEST(StatsTest, RequireHistogramIsCheckedLookup)
+{
+    StatSet s;
+    s.histogram("h", 4).sample(2);
+    EXPECT_EQ(s.requireHistogram("h").count(), 1u);
+    EXPECT_THROW(s.requireHistogram("nope"), FatalError);
+    auto names = s.histogramNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "h");
+}
+
 TEST(StatsTest, HistogramBucketsAndOverflow)
 {
     StatSet s;
