@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: simulated µops per wall-clock second
+ * for the cycle-level core, across the three binary types the paper's
+ * experiments exercise most (normal branches, BASE-MAX predication,
+ * wish jump/join/loop) and the Figure 14 window geometries. Runs are
+ * strictly serial and individually timed, so the per-row numbers are
+ * unaffected by compile time or other rows.
+ *
+ * `--smoke` runs a reduced matrix (two kernels, largest window only)
+ * with a deliberately generous throughput floor; ctest runs that mode
+ * under the `smoke` label to catch order-of-magnitude regressions in
+ * the hot path without making the suite timing-sensitive.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_cli.hh"
+#include "harness/table.hh"
+#include "uarch/core.hh"
+#include "workloads/workload.hh"
+
+using namespace wisc;
+
+namespace {
+
+struct VariantSpec
+{
+    const char *label;
+    BinaryVariant variant;
+};
+
+const VariantSpec kVariants[] = {
+    {"normal", BinaryVariant::Normal},
+    {"base-max", BinaryVariant::BaseMax},
+    {"wish-jjl", BinaryVariant::WishJumpJoinLoop},
+};
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::vector<char *> passArgv;
+    passArgv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+        else
+            passArgv.push_back(argv[i]);
+    }
+    BenchCli cli(static_cast<int>(passArgv.size()), passArgv.data(),
+                 "micro_simspeed");
+
+    printBanner(std::cout, "Simulator throughput",
+                smoke ? "simulated Muops per wall second (smoke matrix)"
+                      : "simulated Muops per wall second (input A, "
+                        "serial, per-run timing)");
+
+    const std::vector<std::string> kernels =
+        smoke ? std::vector<std::string>{"gzip", "mcf"} : workloadNames();
+    const std::vector<unsigned> windows =
+        smoke ? std::vector<unsigned>{512} : std::vector<unsigned>{128, 512};
+
+    // Compile once, untimed: we are measuring the core, not the compiler.
+    std::vector<CompiledWorkload> compiled;
+    for (const std::string &k : kernels)
+        compiled.push_back(compileWorkload(k));
+
+    Table t({"window", "binary", "uops", "cycles", "wall_s", "Muops/s"});
+    std::uint64_t totalUops = 0;
+    std::uint64_t totalCycles = 0;
+    double totalSimSeconds = 0.0;
+    double defaultWindowUops = 0.0;
+    double defaultWindowSeconds = 0.0;
+
+    for (unsigned rob : windows) {
+        SimParams params;
+        params.robSize = rob;
+        params.iqSize = rob / 4;
+        params.lsqSize = rob / 2;
+
+        for (const VariantSpec &vs : kVariants) {
+            std::uint64_t uops = 0;
+            std::uint64_t cycles = 0;
+            double wall = 0.0;
+            for (const CompiledWorkload &w : compiled) {
+                Program prog = programFor(w, vs.variant, InputSet::A);
+                StatSet stats;
+                auto t0 = std::chrono::steady_clock::now();
+                SimResult r = simulate(prog, params, stats);
+                auto t1 = std::chrono::steady_clock::now();
+                wisc_assert(r.halted, "benchmark run did not halt");
+                uops += r.retiredUops;
+                cycles += r.cycles;
+                wall += seconds(t0, t1);
+            }
+            t.addRow({std::to_string(rob), vs.label, std::to_string(uops),
+                      std::to_string(cycles), Table::num(wall),
+                      Table::num(uops / wall / 1e6)});
+            cli.noteSimulated(uops, cycles);
+            totalUops += uops;
+            totalCycles += cycles;
+            totalSimSeconds += wall;
+            if (rob == 512) {
+                defaultWindowUops += static_cast<double>(uops);
+                defaultWindowSeconds += wall;
+            }
+        }
+    }
+    t.print(std::cout);
+
+    const double overall =
+        static_cast<double>(totalUops) / totalSimSeconds;
+    const double atDefault = defaultWindowUops / defaultWindowSeconds;
+    std::cout << "\nOverall: " << Table::num(overall / 1e6)
+              << " Muops/s (" << Table::num(atDefault / 1e6)
+              << " Muops/s at the default 512-entry window).\n";
+
+    cli.addTable("throughput", t);
+    cli.add("sim_seconds", totalSimSeconds);
+    cli.add("uops_per_sim_second", overall);
+    cli.add("uops_per_sim_second_rob512", atDefault);
+    cli.add("smoke", smoke);
+
+#ifdef NDEBUG
+    // Generous floor: an order of magnitude below the measured optimized
+    // throughput, so the smoke test only trips on real hot-path
+    // regressions, never on machine noise.
+    const double kFloor = 150e3;
+    if (overall < kFloor) {
+        std::cerr << "micro_simspeed: throughput " << overall
+                  << " uops/s below floor " << kFloor << "\n";
+        cli.finish();
+        return 1;
+    }
+#endif
+    return cli.finish();
+}

@@ -63,16 +63,31 @@ BenchCli::addTable(const std::string &key, const Table &t)
     doc_[key] = toJson(t);
 }
 
+double
+BenchCli::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
 int
 BenchCli::finish()
 {
     if (path_.empty())
         return 0;
     doc_["jobs"] = ParallelRunner::defaultJobs();
-    doc_["wall_seconds"] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count();
+    const double wall = elapsedSeconds();
+    doc_["wall_seconds"] = wall;
+    if (simUops_ > 0) {
+        doc_["simulated_uops"] = simUops_;
+        doc_["simulated_cycles"] = simCycles_;
+        if (wall > 0) {
+            doc_["uops_per_second"] = static_cast<double>(simUops_) / wall;
+            doc_["cycles_per_second"] =
+                static_cast<double>(simCycles_) / wall;
+        }
+    }
     try {
         writeJsonFile(path_, doc_);
     } catch (const FatalError &e) {

@@ -10,6 +10,10 @@
  *   { "bench": name, "schema_version": 1, "jobs": N,
  *     "wall_seconds": t, <sections added via add()/addResults()/...> }
  *
+ * A benchmark that accounts its simulated work via noteSimulated() also
+ * gets "simulated_uops", "simulated_cycles", "uops_per_second", and
+ * "cycles_per_second" — the simulator-throughput figures of merit.
+ *
  * This is what produces the repo's BENCH_*.json trajectory files.
  */
 
@@ -39,6 +43,21 @@ class BenchCli
     void addResults(const std::string &key, const NormalizedResults &r);
     void addTable(const std::string &key, const Table &t);
 
+    /** Account simulated work (retired µops and simulated cycles) so
+     *  finish() can report simulator throughput next to wall_seconds.
+     *  Call once per completed simulation; accumulates. */
+    void
+    noteSimulated(std::uint64_t uops, std::uint64_t cycles)
+    {
+        simUops_ += uops;
+        simCycles_ += cycles;
+    }
+
+    std::uint64_t simulatedUops() const { return simUops_; }
+
+    /** Wall seconds elapsed since construction. */
+    double elapsedSeconds() const;
+
     /** Write the document if requested. Returns the process exit code. */
     int finish();
 
@@ -47,6 +66,8 @@ class BenchCli
     std::string path_;
     json::Value doc_ = json::Value::object();
     std::chrono::steady_clock::time_point start_;
+    std::uint64_t simUops_ = 0;
+    std::uint64_t simCycles_ = 0;
 };
 
 } // namespace wisc

@@ -92,6 +92,45 @@ bool Instruction::readsRs1() const { return info(op).readsRs1; }
 bool Instruction::readsRs2() const { return info(op).readsRs2; }
 InstrClass Instruction::instrClass() const { return info(op).cls; }
 
+std::uint16_t
+predecodeFlags(const Instruction &inst)
+{
+    const OpInfo &i = info(inst.op);
+    std::uint16_t f = 0;
+    if (inst.isControl())
+        f |= kPreCtrl;
+    if (inst.op == Opcode::Br)
+        f |= kPreCondBr;
+    if (inst.isLoad())
+        f |= kPreLoad;
+    if (inst.isStore())
+        f |= kPreStore;
+    if (inst.isMem())
+        f |= kPreMem;
+    if (i.writesReg)
+        f |= kPreWritesReg;
+    if (i.writesPred)
+        f |= kPreWritesPred;
+    if (i.readsRs1)
+        f |= kPreReadsRs1;
+    if (i.readsRs2)
+        f |= kPreReadsRs2;
+    switch (inst.op) {
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::CmpLtU: case Opcode::CmpGeU:
+      case Opcode::CmpEqI: case Opcode::CmpNeI: case Opcode::CmpLtI:
+      case Opcode::CmpLeI: case Opcode::CmpGtI: case Opcode::CmpGeI:
+        f |= kPreCompare;
+        break;
+      default:
+        break;
+    }
+    if (inst.qp != 0 && i.writesReg && inst.op != Opcode::Br)
+        f |= kPreSelectShape;
+    return f;
+}
+
 const char *
 opcodeName(Opcode op)
 {

@@ -152,6 +152,34 @@ struct Instruction
     InstrClass instrClass() const;
 };
 
+/**
+ * Predecoded static properties of one instruction, packed into a bit
+ * mask. The cycle-level core computes these once per static instruction
+ * (instead of re-deriving them from the opcode tables on every fetch of
+ * every dynamic instance) and carries the mask in each in-flight µop.
+ * All bits are functions of the instruction encoding only — never of
+ * machine configuration — so the mask is valid for any SimParams.
+ */
+enum PreFlag : std::uint16_t
+{
+    kPreCtrl = 1 << 0,       ///< isControl()
+    kPreCondBr = 1 << 1,     ///< op == Br
+    kPreLoad = 1 << 2,       ///< isLoad()
+    kPreStore = 1 << 3,      ///< isStore()
+    kPreMem = 1 << 4,        ///< isMem()
+    kPreWritesReg = 1 << 5,  ///< writesReg()
+    kPreWritesPred = 1 << 6, ///< writesPred()
+    kPreReadsRs1 = 1 << 7,   ///< readsRs1()
+    kPreReadsRs2 = 1 << 8,   ///< readsRs2()
+    kPreCompare = 1 << 9,    ///< integer compare (writes pd/pd2)
+    /** Static shape of the select-µop expansion rule: a guarded
+     *  register-writing non-branch (§5.3.3). */
+    kPreSelectShape = 1 << 10,
+};
+
+/** Compute the PreFlag mask for one instruction. */
+std::uint16_t predecodeFlags(const Instruction &inst);
+
 /** Mnemonic for an opcode ("add", "cmp.lt", ...). */
 const char *opcodeName(Opcode op);
 

@@ -63,6 +63,16 @@ class Program
 
     const std::vector<Instruction> &code() const { return code_; }
     std::vector<Instruction> &code() { return code_; }
+
+    /**
+     * Raw pointer to the instruction image. The cycle-level core keeps
+     * per-µop pointers into this array instead of copying Instruction
+     * by value into every in-flight µop, so the image must stay
+     * immutable (no append) for the duration of a simulation — which
+     * also makes it safe to share one Program across the parallel
+     * runner's worker threads.
+     */
+    const Instruction *codeData() const { return code_.data(); }
     const std::vector<DataSegment> &data() const { return data_; }
     const std::map<std::string, std::uint32_t> &labels() const
     {

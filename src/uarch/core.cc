@@ -12,24 +12,22 @@ namespace wisc {
 namespace {
 
 bool
-isCompareOp(Opcode op)
-{
-    switch (op) {
-      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
-      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
-      case Opcode::CmpLtU: case Opcode::CmpGeU:
-      case Opcode::CmpEqI: case Opcode::CmpNeI: case Opcode::CmpLtI:
-      case Opcode::CmpLeI: case Opcode::CmpGtI: case Opcode::CmpGeI:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
 rangesOverlap(Addr a, unsigned asz, Addr b, unsigned bsz)
 {
     return a < b + bsz && b < a + asz;
+}
+
+/** First and last 8-byte-aligned word touched by [addr, addr+size). */
+inline Addr
+firstWord(Addr addr)
+{
+    return addr >> 3;
+}
+
+inline Addr
+lastWord(Addr addr, unsigned size)
+{
+    return (addr + size - 1) >> 3;
 }
 
 } // namespace
@@ -130,13 +128,16 @@ Core::producerDone(SeqNum seq) const
 void
 Core::computeDeps(DynInst &di)
 {
-    const Instruction &si = di.si;
+    const Instruction &si = *di.inst;
     const bool noDep = params_.oracle.noDepend;
-    const bool predPredicted = di.hasPredQp && si.qp != 0 && !si.isBranch();
+    const bool predPredicted = di.hasPredQp && si.qp != 0 && !di.isCondBr();
 
     auto dep = [&](SeqNum s) {
-        if (s != 0)
-            di.deps.push_back(s);
+        if (s != 0) {
+            wisc_assert(di.numDeps < kMaxDeps,
+                        "µop exceeds kMaxDeps producers");
+            di.deps[di.numDeps++] = s;
+        }
     };
     auto depReg = [&](RegIdx r) {
         if (r != kRegZero)
@@ -147,8 +148,8 @@ Core::computeDeps(DynInst &di)
             dep(predProducer_[p]);
     };
 
-    const bool writesReg = si.writesReg();
-    const bool writesPred = si.writesPred();
+    const bool writesReg = di.writesReg();
+    const bool writesPred = di.writesPred();
 
     if (di.selectPart == 2) {
         // Select half: depends on the compute half (previous seq), the
@@ -160,7 +161,7 @@ Core::computeDeps(DynInst &di)
         return;
     }
 
-    if (si.isBranch()) {
+    if (di.isCondBr()) {
         // A branch resolves against the *real* predicate value.
         depPred(si.qp);
         return;
@@ -180,9 +181,9 @@ Core::computeDeps(DynInst &di)
         // NO-DEPEND oracle: the predicate value is known at rename.
         if (!di.step.qpTrue)
             return; // pure NOP: no deps, claims nothing
-        if (si.readsRs1())
+        if (di.readsRs1())
             depReg(si.rs1);
-        if (si.readsRs2())
+        if (di.readsRs2())
             depReg(si.rs2);
         if (si.op == Opcode::PNot || si.op == Opcode::PAnd ||
             si.op == Opcode::POr) {
@@ -198,9 +199,9 @@ Core::computeDeps(DynInst &di)
         // §3.5.3: the qualifying predicate is predicted; the µop is
         // shaped as if the predicate were already resolved.
         if (di.predQpVal) {
-            if (si.readsRs1())
+            if (di.readsRs1())
                 depReg(si.rs1);
-            if (si.readsRs2())
+            if (di.readsRs2())
                 depReg(si.rs2);
         } else {
             // Predicted FALSE: a register move of the old destination
@@ -218,9 +219,9 @@ Core::computeDeps(DynInst &di)
 
     // Baseline C-style conditional expression (§2.1): the µop reads its
     // sources, the predicate, and — when guarded — the old destination.
-    if (si.readsRs1())
+    if (di.readsRs1())
         depReg(si.rs1);
-    if (si.readsRs2())
+    if (di.readsRs2())
         depReg(si.rs2);
     if (di.selectPart == 0)
         depPred(si.qp);
@@ -247,14 +248,14 @@ Core::computeDeps(DynInst &di)
 void
 Core::claimProducers(DynInst &di)
 {
-    const Instruction &si = di.si;
-    if (si.writesReg() && si.rd != kRegZero) {
+    const Instruction &si = *di.inst;
+    if (di.writesReg() && si.rd != kRegZero) {
         di.prevRegProducer = regProducer_[si.rd];
         di.claimedReg = si.rd;
         di.claimsReg = true;
         regProducer_[si.rd] = di.seq;
     }
-    if (si.writesPred()) {
+    if (di.writesPred()) {
         unsigned slot = 0;
         for (PredIdx p : {si.pd, si.pd2}) {
             if (p != kPredNone) {
@@ -270,10 +271,138 @@ Core::claimProducers(DynInst &di)
 bool
 Core::depsReady(const DynInst &di) const
 {
-    for (SeqNum s : di.deps)
-        if (!producerDone(s))
+    for (unsigned i = 0; i < di.numDeps; ++i)
+        if (!producerDone(di.deps[i]))
             return false;
     return true;
+}
+
+// ---------------------------------------------------------------------
+// Event-driven wakeup
+// ---------------------------------------------------------------------
+
+/**
+ * Link the µop under its first still-outstanding producer, or move it
+ * to the ready list when every producer has completed. Waiting on one
+ * producer at a time is sufficient because completion is monotonic: by
+ * the time the watched producer completes and the remaining producers
+ * are re-scanned, any producer that completed in the meantime is seen
+ * as done, and a still-outstanding one is watched next.
+ */
+void
+Core::scheduleOrReady(DynInst &di)
+{
+    for (unsigned i = 0; i < di.numDeps; ++i) {
+        DynInst *p = findInst(di.deps[i]);
+        if (!p || p->completed)
+            continue; // retired or complete: this producer is done
+        di.waitingOn = p->seq;
+        di.chainPrev = 0;
+        di.chainNext = p->wakeHead;
+        if (p->wakeHead)
+            findInst(p->wakeHead)->chainPrev = di.seq;
+        p->wakeHead = di.seq;
+        return;
+    }
+    di.waitingOn = 0;
+    if (params_.pollScheduler)
+        return; // the reference scheduler rescans; no ready list
+    if (!readyList_.empty() && readyList_.back() > di.seq)
+        readySorted_ = false;
+    readyList_.push_back(di.seq);
+}
+
+/** The producer completed: re-evaluate every consumer in its chain. */
+void
+Core::wakeConsumers(DynInst &producer)
+{
+    SeqNum s = producer.wakeHead;
+    producer.wakeHead = 0;
+    while (s != 0) {
+        DynInst *c = findInst(s);
+        wisc_assert(c && c->waitingOn == producer.seq,
+                    "wait chain corrupt at seq ", s);
+        SeqNum next = c->chainNext;
+        c->waitingOn = 0;
+        c->chainPrev = 0;
+        c->chainNext = 0;
+        scheduleOrReady(*c);
+        s = next;
+    }
+}
+
+/** Remove a (squashed) µop from the wait chain it is linked into, if
+ *  any. Chains therefore never contain dead entries, which is what
+ *  makes the seq-based links safe across flushes and seq reuse. */
+void
+Core::unlinkWaiter(DynInst &di)
+{
+    if (di.waitingOn == 0)
+        return;
+    if (di.chainPrev == 0) {
+        DynInst *p = findInst(di.waitingOn);
+        wisc_assert(p && p->wakeHead == di.seq,
+                    "wait chain head mismatch at seq ", di.seq);
+        p->wakeHead = di.chainNext;
+    } else {
+        findInst(di.chainPrev)->chainNext = di.chainNext;
+    }
+    if (di.chainNext)
+        findInst(di.chainNext)->chainPrev = di.chainPrev;
+    di.waitingOn = 0;
+    di.chainPrev = 0;
+    di.chainNext = 0;
+}
+
+// ---------------------------------------------------------------------
+// In-flight store index
+// ---------------------------------------------------------------------
+
+void
+Core::indexStore(SeqNum seq, Addr addr, unsigned size)
+{
+    for (Addr w = firstWord(addr); w <= lastWord(addr, size); ++w)
+        storesByWord_[w].push_back(seq); // rename order: ascending
+}
+
+void
+Core::unindexStore(SeqNum seq, Addr addr, unsigned size)
+{
+    for (Addr w = firstWord(addr); w <= lastWord(addr, size); ++w) {
+        auto it = storesByWord_.find(w);
+        wisc_assert(it != storesByWord_.end(), "store index miss");
+        auto &v = it->second;
+        auto pos = std::find(v.begin(), v.end(), seq);
+        wisc_assert(pos != v.end(), "store index entry miss");
+        v.erase(pos);
+    }
+}
+
+const DynInst *
+Core::youngestOlderStore(SeqNum seq, Addr addr, unsigned size) const
+{
+    const DynInst *best = nullptr;
+    for (Addr w = firstWord(addr); w <= lastWord(addr, size); ++w) {
+        auto it = storesByWord_.find(w);
+        if (it == storesByWord_.end())
+            continue;
+        const auto &v = it->second;
+        // Youngest-first; the first *overlapping* older store in this
+        // bucket decides for this word (same-word non-overlapping byte
+        // ops are skipped, exactly like the old full reverse walk).
+        for (auto r = v.rbegin(); r != v.rend(); ++r) {
+            if (*r >= seq)
+                continue;
+            const DynInst *st = findInst(*r);
+            wisc_assert(st, "indexed store not in flight");
+            if (!rangesOverlap(st->memAddr, st->memSize, addr, size))
+                continue;
+            if (!best || st->seq > best->seq)
+                best = st;
+            break;
+        }
+    }
+    return best;
 }
 
 // ---------------------------------------------------------------------
@@ -285,38 +414,38 @@ Core::fetchOne(std::uint32_t idx)
 {
     wish_.onInstructionFetched(idx);
 
-    DynInst di;
+    DynInst &di = fetchQueue_.emplace_back();
     di.pc = idx;
     di.uid = nextUid_++;
     di.fetchCycle = now_;
-    di.si = prog_->code()[idx];
+    di.inst = &code_[idx];
+    di.pre = pre_[idx].flags;
+    di.exLat = pre_[idx].exLat;
     di.undoStart = undo_.mark();
-    di.step = executeInst(di.si, idx, codeSize_, state_, &undo_);
+    di.step = executeInst(*di.inst, idx, codeSize_, state_, &undo_);
     di.undoEnd = undo_.mark();
     di.renameReady = now_ + params_.frontEndDelay();
-    di.isCtrl = di.si.isControl();
     di.memAddr = di.step.memAddr;
     di.memSize = di.step.memSize;
-    di.isMemOp = di.si.isMem();
-    di.memSkipped = di.isMemOp && !di.step.qpTrue;
+    di.memSkipped = di.isMemOp() && !di.step.qpTrue;
 
     // Predicate-prediction capture and buffer maintenance (decode-side
     // structures, §3.5.3), strictly in fetch order.
-    if (params_.wishEnabled && di.si.qp != 0) {
-        auto v = wish_.predictedPredicate(di.si.qp);
+    if (params_.wishEnabled && di.inst->qp != 0) {
+        auto v = wish_.predictedPredicate(di.inst->qp);
         if (v) {
             di.hasPredQp = true;
             di.predQpVal = *v;
         }
     }
-    if (isCompareOp(di.si.op))
-        wish_.noteCompare(di.si.pd, di.si.pd2);
-    if (di.si.writesPred()) {
-        wish_.notePredWrite(di.si.pd);
-        wish_.notePredWrite(di.si.pd2);
+    if (di.pre & kPreCompare)
+        wish_.noteCompare(di.inst->pd, di.inst->pd2);
+    if (di.writesPred()) {
+        wish_.notePredWrite(di.inst->pd);
+        wish_.notePredWrite(di.inst->pd2);
     }
 
-    if (di.isCtrl)
+    if (di.isCtrl())
         processControl(di);
     else
         fetchPc_ = idx + 1;
@@ -326,14 +455,13 @@ Core::fetchOne(std::uint32_t idx)
 
     ++*cFetched_;
     if (tracer_)
-        tracer_->onFetch(di.uid, di.pc, di.si, now_);
-    fetchQueue_.push_back(std::move(di));
+        tracer_->onFetch(di.uid, di.pc, *di.inst, now_);
 }
 
 void
 Core::processControl(DynInst &di)
 {
-    const Instruction &si = di.si;
+    const Instruction &si = *di.inst;
     const std::uint32_t idx = di.pc;
     const auto &oracle = params_.oracle;
 
@@ -462,8 +590,7 @@ Core::stageFetch()
             break;
 
         std::uint32_t idx = fetchPc_;
-        const Instruction &si = prog_->code()[idx];
-        if (si.op == Opcode::Br) {
+        if (pre_[idx].flags & kPreCondBr) {
             if (condBrs >= params_.maxCondBrPerFetch)
                 break;
             ++condBrs;
@@ -477,8 +604,8 @@ Core::stageFetch()
         // are dropped from the pipe entirely (except unconditional
         // compares, whose clearing writes are architectural).
         bool elide = params_.oracle.noFetch && !di.step.qpTrue &&
-                     !di.isCtrl &&
-                     !(di.si.unc && di.si.writesPred());
+                     !di.isCtrl() &&
+                     !(di.inst->unc && di.writesPred());
         if (elide) {
             fetchQueue_.pop_back();
             continue;
@@ -486,7 +613,7 @@ Core::stageFetch()
 
         --slots;
         // Fetch ends at the first predicted-taken control transfer.
-        if (di.isCtrl && di.predictedTaken)
+        if (di.isCtrl() && di.predictedTaken)
             break;
         if (di.step.halted)
             break;
@@ -509,62 +636,68 @@ Core::stageRename()
 
         const bool expand =
             params_.predMech == PredMechanism::SelectUop &&
-            front.si.qp != 0 && front.si.writesReg() &&
-            !front.si.isBranch() && !params_.oracle.noDepend &&
+            (front.pre & kPreSelectShape) &&
+            !params_.oracle.noDepend &&
             !front.hasPredQp;
         const unsigned need = expand ? 2 : 1;
 
         if (rob_.size() + need > params_.robSize ||
-            iq_.size() + need > params_.iqSize)
+            iqCount_ + need > params_.iqSize)
             break;
-
-        DynInst di = std::move(front);
-        fetchQueue_.pop_front();
 
         if (expand) {
             // Compute half: executes the operation unconditionally into
             // a temporary; carries the memory access.
-            DynInst a = di;
+            DynInst &a = rob_.emplace_back();
+            a = front;
             a.seq = nextSeq_++;
             a.selectPart = 1;
-            if (a.si.isStore() && !a.memSkipped)
+            if (a.isStoreOp() && !a.memSkipped) {
                 storeSeqs_.push_back(a.seq);
+                indexStore(a.seq, a.memAddr, a.memSize);
+            }
             a.undoEnd = a.undoStart; // effects commit with the select
             computeDeps(a);
             a.inIQ = true;
-            iq_.push_back(a.seq);
-            rob_.push_back(std::move(a));
+            ++iqCount_;
+            scheduleOrReady(a);
 
             // Select half: picks new vs old value once the predicate
             // resolves; owns the architectural effects.
-            DynInst b = std::move(di);
+            DynInst &b = rob_.emplace_back();
+            b = front;
+            fetchQueue_.pop_front();
             b.seq = nextSeq_++;
             b.uid = nextUid_++; // the select half is a distinct µop
             b.selectPart = 2;
-            b.isMemOp = false;
             b.memSize = 0;
             computeDeps(b);
             b.inIQ = true;
-            iq_.push_back(b.seq);
+            ++iqCount_;
+            scheduleOrReady(b);
             if (tracer_) {
-                tracer_->onFetch(b.uid, b.pc, b.si, b.fetchCycle);
-                tracer_->onRename(rob_.back().uid, now_);
+                tracer_->onFetch(b.uid, b.pc, *b.inst, b.fetchCycle);
+                tracer_->onRename(a.uid, now_);
                 tracer_->onRename(b.uid, now_);
             }
-            rob_.push_back(std::move(b));
             renamed += 2;
             continue;
         }
 
+        DynInst &di = rob_.emplace_back();
+        di = front;
+        fetchQueue_.pop_front();
         di.seq = nextSeq_++;
         computeDeps(di);
         di.inIQ = true;
+        ++iqCount_;
         if (tracer_)
             tracer_->onRename(di.uid, now_);
-        if (di.si.isStore() && !di.memSkipped)
+        if (di.isStoreOp() && !di.memSkipped) {
             storeSeqs_.push_back(di.seq);
-        iq_.push_back(di.seq);
-        rob_.push_back(std::move(di));
+            indexStore(di.seq, di.memAddr, di.memSize);
+        }
+        scheduleOrReady(di);
         ++renamed;
     }
 }
@@ -580,101 +713,123 @@ Core::loadLatency(const DynInst &di)
     return memsys_.loadAccess(di.memAddr, now_);
 }
 
+/**
+ * Issue one µop whose producers are all complete, unless a structural
+ * or memory hazard blocks it this cycle (memory port pressure, an
+ * incomplete older overlapping store, or a full MSHR file). Shared
+ * verbatim by the event-driven and the poll-reference schedulers so the
+ * two can only diverge in *selection*, never in hazard rules.
+ */
+bool
+Core::tryIssueOne(DynInst &di, unsigned &memPorts)
+{
+    bool isLoad = di.isLoadOp() && !di.memSkipped && di.selectPart != 2;
+    bool isStore = di.isStoreOp() && !di.memSkipped;
+    if ((isLoad || isStore) && memPorts >= params_.memPortsPerCycle)
+        return false;
+
+    // Loads must wait for older overlapping stores' data, and a
+    // missing load needs a free MSHR.
+    bool forwarded = false;
+    if (isLoad) {
+        const DynInst *st =
+            youngestOlderStore(di.seq, di.memAddr, di.memSize);
+        if (st) {
+            // The youngest older overlapping store decides.
+            if (!(st->completed && st->completeCycle <= now_))
+                return false;
+            forwarded = true;
+        }
+        if (!forwarded && !memsys_.loadWouldHitL1(di.memAddr)) {
+            // MSHR check: count misses still in flight.
+            while (!missHeap_.empty() && missHeap_.top() <= now_)
+                missHeap_.pop();
+            if (missHeap_.size() >= params_.maxOutstandingMisses)
+                return false;
+        }
+    }
+
+    unsigned lat;
+    if (isLoad) {
+        lat = forwarded ? params_.latStoreForward : loadLatency(di);
+        if (!forwarded && lat > memsys_.l1dHitLatency())
+            missHeap_.push(now_ + lat);
+        ++memPorts;
+    } else if (isStore) {
+        lat = params_.latAlu;
+        ++memPorts;
+    } else {
+        lat = di.exLat;
+    }
+
+    di.issued = true;
+    di.completeCycle = now_ + lat;
+    events_.push({di.completeCycle, di.seq, di.uid});
+    if (tracer_)
+        tracer_->onIssue(di.uid, now_);
+    return true;
+}
+
 void
 Core::stageIssue()
 {
+    if (params_.pollScheduler) {
+        stageIssuePoll();
+        return;
+    }
+    if (readyList_.empty())
+        return;
+    if (!readySorted_) {
+        std::sort(readyList_.begin(), readyList_.end());
+        readySorted_ = true;
+    }
+
     unsigned issued = 0;
     unsigned memPorts = 0;
-
-    for (std::size_t i = 0;
-         i < iq_.size() && issued < params_.issueWidth; ++i) {
-        DynInst *di = findInst(iq_[i]);
-        wisc_assert(di && di->inIQ, "stale IQ entry");
-        if (di->issued)
+    std::size_t keep = 0;
+    const std::size_t n = readyList_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        SeqNum s = readyList_[i];
+        if (issued >= params_.issueWidth) {
+            readyList_[keep++] = s;
             continue;
-        if (!depsReady(*di))
-            continue;
-
-        bool isLoad = di->si.isLoad() && !di->memSkipped &&
-                      di->selectPart != 2;
-        bool isStore = di->si.isStore() && !di->memSkipped;
-        if ((isLoad || isStore) &&
-            memPorts >= params_.memPortsPerCycle)
-            continue;
-
-        // Loads must wait for older overlapping stores' data, and a
-        // missing load needs a free MSHR.
-        bool forwarded = false;
-        if (isLoad) {
-            bool blocked = false;
-            for (auto it = storeSeqs_.rbegin(); it != storeSeqs_.rend();
-                 ++it) {
-                if (*it >= di->seq)
-                    continue;
-                const DynInst *s = findInst(*it);
-                if (!s)
-                    break; // already retired: memory is up to date
-                if (rangesOverlap(s->memAddr, s->memSize, di->memAddr,
-                                  di->memSize)) {
-                    if (!(s->completed && s->completeCycle <= now_))
-                        blocked = true;
-                    else
-                        forwarded = true;
-                    break; // youngest older overlapping store decides
-                }
-            }
-            if (blocked)
-                continue;
-            if (!forwarded && !memsys_.loadWouldHitL1(di->memAddr)) {
-                // MSHR check: count misses still in flight.
-                unsigned inflight = 0;
-                for (Cycle c : outstandingMisses_)
-                    if (c > now_)
-                        ++inflight;
-                if (inflight >= params_.maxOutstandingMisses)
-                    continue;
-            }
         }
+        DynInst *di = findInst(s);
+        wisc_assert(di && di->inIQ && !di->issued && !di->completed,
+                    "stale ready-list entry ", s);
+        if (tryIssueOne(*di, memPorts))
+            ++issued;
+        else
+            readyList_[keep++] = s; // hazard: retry next cycle
+    }
+    readyList_.resize(keep);
+}
 
-        unsigned lat;
-        if (isLoad) {
-            lat = forwarded ? params_.latStoreForward : loadLatency(*di);
-            if (!forwarded && lat > memsys_.l1dHitLatency()) {
-                // Track the miss for MSHR accounting; reuse stale slots.
-                bool reused = false;
-                for (Cycle &c : outstandingMisses_) {
-                    if (c <= now_) {
-                        c = now_ + lat;
-                        reused = true;
-                        break;
-                    }
-                }
-                if (!reused)
-                    outstandingMisses_.push_back(now_ + lat);
-            }
-            ++memPorts;
-        } else if (isStore) {
-            lat = params_.latAlu;
-            ++memPorts;
-        } else {
-            switch (di->si.instrClass()) {
-              case InstrClass::IntMul: lat = params_.latMul; break;
-              case InstrClass::IntDiv: lat = params_.latDiv; break;
-              case InstrClass::Branch: lat = params_.latBranch; break;
-              case InstrClass::Load: // predicated-off load: a move
-              case InstrClass::Store:
-              case InstrClass::IntAlu:
-              case InstrClass::Other:
-              default: lat = params_.latAlu; break;
-            }
-        }
-
-        di->issued = true;
-        di->completeCycle = now_ + lat;
-        events_.push({di->completeCycle, di->seq, di->uid});
-        if (tracer_)
-            tracer_->onIssue(di->uid, now_);
-        ++issued;
+/**
+ * Reference scheduler (SimParams::pollScheduler): the original
+ * O(window²) scan — every in-flight µop re-evaluates every producer
+ * every cycle. Kept only to cross-check the event-driven scheduler;
+ * also asserts, each cycle, that the wakeup chains agree with the
+ * polled dependence state.
+ */
+void
+Core::stageIssuePoll()
+{
+    unsigned issued = 0;
+    unsigned memPorts = 0;
+    const std::size_t n = rob_.size();
+    for (std::size_t i = 0; i < n && issued < params_.issueWidth; ++i) {
+        DynInst &di = rob_[i];
+        if (!di.inIQ || di.issued)
+            continue;
+        const bool ready = depsReady(di);
+        wisc_assert(ready == (di.waitingOn == 0),
+                    "wakeup chain disagrees with poll scan at seq ",
+                    di.seq);
+        if (!ready)
+            continue;
+        if (tryIssueOne(di, memPorts))
+            ++issued;
     }
 }
 
@@ -691,33 +846,28 @@ Core::stageComplete()
         DynInst *di = findInst(ev.seq);
         if (!di || di->uid != ev.uid || !di->issued || di->completed)
             continue; // squashed (or stale event for a reused seq)
-        Cycle cyc = ev.cycle;
         di->completed = true;
-        di->completeCycle = cyc;
+        di->completeCycle = ev.cycle;
         di->inIQ = false;
+        --iqCount_;
         if (tracer_)
-            tracer_->onComplete(di->uid, cyc);
+            tracer_->onComplete(di->uid, ev.cycle);
 
-        if (di->isCtrl)
+        wakeConsumers(*di);
+
+        if (di->isCtrl())
             resolveBranch(*di);
 
-        // A flush inside resolveBranch may have squashed younger events;
-        // they are dropped lazily by the findInst check above.
+        // A flush inside resolveBranch squashed younger µops and purged
+        // them from the ready list; their stale events are dropped
+        // lazily by the findInst/uid check above.
     }
-
-    // Compact the issue queue: drop completed entries.
-    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
-                             [&](SeqNum s) {
-                                 const DynInst *p = findInst(s);
-                                 return !p || p->completed;
-                             }),
-              iq_.end());
 }
 
 void
 Core::resolveBranch(DynInst &di)
 {
-    const Instruction &si = di.si;
+    const Instruction &si = *di.inst;
 
     if (si.op == Opcode::Jmp || si.op == Opcode::Call)
         return; // direct and unconditional: resolved at fetch
@@ -782,16 +932,24 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
 
     // Everything in the fetch queue is younger than anything renamed.
     if (tracer_)
-        for (const DynInst &di : fetchQueue_)
-            tracer_->onSquash(di.uid);
+        for (std::size_t i = 0; i < fetchQueue_.size(); ++i)
+            tracer_->onSquash(fetchQueue_[i].uid);
     fetchQueue_.clear();
 
     // Squash renamed µops younger than the branch, restoring the rename
-    // producer chains newest-first.
+    // producer chains newest-first and repairing the wakeup chains.
     while (!rob_.empty() && rob_.back().seq > branch.seq) {
         DynInst &di = rob_.back();
         if (tracer_)
             tracer_->onSquash(di.uid);
+        unlinkWaiter(di);
+        // All of this µop's waiters are younger and already unlinked.
+        wisc_assert(di.wakeHead == 0,
+                    "squashed producer still has waiters");
+        if (di.inIQ)
+            --iqCount_;
+        if (di.isStoreOp() && !di.memSkipped && di.selectPart != 2)
+            unindexStore(di.seq, di.memAddr, di.memSize);
         if (di.claimsReg)
             regProducer_[di.claimedReg] = di.prevRegProducer;
         for (unsigned s = 0; s < 2; ++s)
@@ -804,20 +962,30 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
     nextSeq_ = branch.seq + 1;
     hFlushSquash_->sample(squashed);
 
-    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
-                             [&](SeqNum s) { return s > branch.seq; }),
-              iq_.end());
+    readyList_.erase(std::remove_if(readyList_.begin(), readyList_.end(),
+                                    [&](SeqNum s) {
+                                        return s > branch.seq;
+                                    }),
+                     readyList_.end());
     storeSeqs_.erase(std::remove_if(storeSeqs_.begin(), storeSeqs_.end(),
                                     [&](SeqNum s) {
                                         return s > branch.seq;
                                     }),
                      storeSeqs_.end());
 
+#ifndef NDEBUG
+    // findInst()'s O(1) contract: seq numbers stay dense base..base+size
+    // across partial flushes (debug builds only; the walk is O(window)).
+    for (std::size_t i = 0; i < rob_.size(); ++i)
+        wisc_assert(rob_[i].seq == rob_.front().seq + i,
+                    "ROB seq density violated after flush at index ", i);
+#endif
+
     // Roll speculative architectural state back to just after the
     // branch executed.
     undo_.rollbackTo(branch.undoEnd, state_);
 
-    if (recoverBpred && branch.si.op == Opcode::Br)
+    if (recoverBpred && branch.inst->op == Opcode::Br)
         bpred_.recover(branch.pc, branch.step.taken, branch.ckpt);
     ras_.restore(branch.rasTop);
     wish_.onFlush();
@@ -840,7 +1008,7 @@ Core::stageRetire()
         if (!di.completed || di.completeCycle > now_)
             break;
 
-        const Instruction &si = di.si;
+        const Instruction &si = *di.inst;
 
         if (si.op == Opcode::Br) {
             ++*cCondBranches_;
@@ -861,11 +1029,13 @@ Core::stageRetire()
             ++*cMispredicts_;
         }
 
-        if (si.isStore() && !di.memSkipped) {
+        if (di.isStoreOp() && !di.memSkipped) {
             if (di.selectPart != 1)
                 memsys_.storeAccess(di.memAddr);
-            if (!storeSeqs_.empty() && storeSeqs_.front() == di.seq)
+            if (!storeSeqs_.empty() && storeSeqs_.front() == di.seq) {
                 storeSeqs_.erase(storeSeqs_.begin());
+                unindexStore(di.seq, di.memAddr, di.memSize);
+            }
         }
 
         undo_.commitTo(di.undoEnd);
@@ -889,45 +1059,51 @@ Core::stageRetire()
     }
 }
 
+Counter &
+Core::wishOutcomeCounter(WishKind kind, bool low, unsigned slot)
+{
+    // Lazily resolved so a counter is still registered the first time
+    // its event occurs — keeping the emitted stat *set* identical to
+    // the original per-retire string lookup — while repeat events cost
+    // one array load instead of a string build plus map search.
+    const unsigned k = static_cast<unsigned>(kind) - 1;
+    Counter *&c = wishOutcome_[k][low ? 1 : 0][slot];
+    if (!c) {
+        static const char *const kKindName[] = {"jump", "join", "loop"};
+        static const char *const kSlotName[] = {
+            "correct", "mispred", "early_exit", "late_exit", "no_exit"};
+        c = &stats_.counter(std::string("wish.") + kKindName[k] + "." +
+                            (low ? "low." : "high.") + kSlotName[slot]);
+    }
+    return *c;
+}
+
 void
 Core::retireWishStats(const DynInst &di)
 {
-    const char *kind = nullptr;
-    switch (di.si.wish) {
-      case WishKind::Jump: kind = "jump"; break;
-      case WishKind::Join: kind = "join"; break;
-      case WishKind::Loop: kind = "loop"; break;
-      case WishKind::None: return;
-    }
+    const WishKind kind = di.inst->wish;
+    if (kind == WishKind::None)
+        return;
+    const bool low = di.fetchMode == FrontEndMode::LowConf;
 
-    std::string base = std::string("wish.") + kind + ".";
-    bool low = di.fetchMode == FrontEndMode::LowConf;
-    base += low ? "low." : "high.";
-
-    if (di.si.wish == WishKind::Loop && low) {
+    unsigned slot;
+    if (kind == WishKind::Loop && low) {
         switch (di.loopOutcome) {
+          case LoopOutcome::EarlyExit: slot = 2; break;
+          case LoopOutcome::LateExit:  slot = 3; break;
+          case LoopOutcome::NoExit:    slot = 4; break;
           case LoopOutcome::Correct:
-            ++stats_.counter(base + "correct");
-            break;
-          case LoopOutcome::EarlyExit:
-            ++stats_.counter(base + "early_exit");
-            break;
-          case LoopOutcome::LateExit:
-            ++stats_.counter(base + "late_exit");
-            break;
-          case LoopOutcome::NoExit:
-            ++stats_.counter(base + "no_exit");
-            break;
           case LoopOutcome::NotApplicable:
-            // A low-confidence loop branch that resolved in the
-            // predicted direction.
-            ++stats_.counter(base + "correct");
+          default:
+            // NotApplicable: a low-confidence loop branch that resolved
+            // in the predicted direction.
+            slot = 0;
             break;
         }
-        return;
+    } else {
+        slot = di.mispredicted ? 1 : 0;
     }
-    ++stats_.counter(base +
-                     (di.mispredicted ? "mispred" : "correct"));
+    ++wishOutcomeCounter(kind, low, slot);
 }
 
 // ---------------------------------------------------------------------
@@ -939,7 +1115,25 @@ Core::run(const Program &prog)
 {
     prog.validate();
     prog_ = &prog;
+    code_ = prog.codeData();
     codeSize_ = static_cast<std::uint32_t>(prog.size());
+
+    // Predecode the static image once: per-PC flags and execute
+    // latencies replace per-fetch opcode-table walks.
+    pre_.assign(codeSize_, PreDecode{});
+    for (std::uint32_t i = 0; i < codeSize_; ++i) {
+        const Instruction &si = code_[i];
+        pre_[i].flags = predecodeFlags(si);
+        unsigned lat;
+        switch (si.instrClass()) {
+          case InstrClass::IntMul: lat = params_.latMul; break;
+          case InstrClass::IntDiv: lat = params_.latDiv; break;
+          case InstrClass::Branch: lat = params_.latBranch; break;
+          default: lat = params_.latAlu; break;
+        }
+        wisc_assert(lat > 0 && lat < 256, "execute latency out of range");
+        pre_[i].exLat = static_cast<std::uint8_t>(lat);
+    }
 
     state_.reset();
     state_.loadData(prog);
@@ -949,15 +1143,19 @@ Core::run(const Program &prog)
     now_ = 0;
     haltRetired_ = false;
     retiredUops_ = 0;
-    fetchQueue_.clear();
-    rob_.clear();
-    iq_.clear();
+    fetchQueue_.reset(fetchQueueCap_);
+    rob_.reset(params_.robSize);
+    iqCount_ = 0;
+    readyList_.clear();
+    readySorted_ = true;
     while (!events_.empty())
         events_.pop();
     std::fill(std::begin(regProducer_), std::end(regProducer_), 0);
     std::fill(std::begin(predProducer_), std::end(predProducer_), 0);
-    outstandingMisses_.clear();
+    while (!missHeap_.empty())
+        missHeap_.pop();
     storeSeqs_.clear();
+    storesByWord_.clear();
 
     // Warm the instruction image: our kernels fit comfortably in the
     // 64 KB L1I, so a cold-start I-cache would only add noise.
@@ -976,7 +1174,7 @@ Core::run(const Program &prog)
         if (trace)
             fprintf(stderr, "c%llu fq=%zu rob=%zu iq=%zu fpc=%u stall=%llu\n",
                     (unsigned long long)now_, fetchQueue_.size(), rob_.size(),
-                    iq_.size(), fetchPc_, (unsigned long long)fetchStallUntil_);
+                    iqCount_, fetchPc_, (unsigned long long)fetchStallUntil_);
         ++now_;
         ++*cCycles_;
     }

@@ -17,19 +17,29 @@
  * to 8 per cycle (4 memory ports) when their producers have completed,
  * and retire 8-wide in order. Branches resolve at execute; recovery
  * follows the wish-branch rules of §3.5.4.
+ *
+ * Scheduling is event-driven (DESIGN.md §7): a renamed µop waits on one
+ * outstanding producer at a time via an intrusive doubly-linked wait
+ * chain; when a producer completes it walks its chain, and consumers
+ * whose remaining producers are all complete move to a ready list that
+ * issue drains oldest-first. The poll-based issue loop is retained
+ * behind SimParams::pollScheduler purely as a verification reference.
+ * µops live in fixed ring buffers, reference the immutable Program
+ * image by pointer, and carry a bounded inline dependence array — the
+ * per-cycle hot path performs no heap allocation.
  */
 
 #ifndef WISC_UARCH_CORE_HH_
 #define WISC_UARCH_CORE_HH_
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/executor.hh"
 #include "arch/state.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "isa/program.hh"
 #include "uarch/bpred.hh"
@@ -52,7 +62,15 @@ enum class LoopOutcome : std::uint8_t
     NoExit,
 };
 
-/** One in-flight µop. */
+/** Maximum producers of one µop: two register sources, the qualifying
+ *  predicate, the old destination (register or two predicate targets),
+ *  two predicate sources, and the select-half link. The C-style shapes
+ *  computeDeps() emits never exceed 6; 8 leaves slack and keeps the
+ *  array pow2-sized. Exceeding it is a hard error (wisc_assert). */
+inline constexpr unsigned kMaxDeps = 8;
+
+/** One in-flight µop. Flat (no heap-owning members): ring-buffer slots
+ *  are reused in place and DynInst moves are plain field copies. */
 struct DynInst
 {
     SeqNum seq = 0;
@@ -60,7 +78,13 @@ struct DynInst
      *  completion events are validated against it. */
     std::uint64_t uid = 0;
     std::uint32_t pc = 0;
-    Instruction si;
+    /** The static instruction, aliasing the immutable Program image. */
+    const Instruction *inst = nullptr;
+    /** Predecoded PreFlag mask for *inst (computed once per static
+     *  instruction per run, not per fetch). */
+    std::uint16_t pre = 0;
+    /** Predecoded non-memory execute latency (cycles). */
+    std::uint8_t exLat = 1;
 
     // Functional (execute-at-fetch) results.
     StepResult step;
@@ -68,7 +92,6 @@ struct DynInst
     UndoLog::Mark undoEnd = 0;
 
     // Branch prediction state.
-    bool isCtrl = false;
     bool predictorTaken = false; ///< raw predictor output
     bool predictedTaken = false; ///< effective front-end direction
     std::uint32_t predictedTarget = 0;
@@ -87,8 +110,22 @@ struct DynInst
     bool hasPredQp = false;
     bool predQpVal = false;
 
-    // Dependence tracking.
-    std::vector<SeqNum> deps;
+    // Dependence tracking: bounded inline producer list.
+    std::uint8_t numDeps = 0;
+    SeqNum deps[kMaxDeps] = {};
+
+    // Wakeup state. A waiting µop is linked into exactly one producer's
+    // wait chain (the first still-outstanding producer); when that
+    // producer completes the consumer re-scans its remaining producers
+    // and either re-links or becomes ready. Links are seq numbers (0 =
+    // none) resolved through the dense ROB, and chains are repaired
+    // eagerly on squash, so they never contain dead entries.
+    SeqNum waitingOn = 0;  ///< producer this µop is linked under
+    SeqNum chainPrev = 0;  ///< older neighbor (0 = chain head)
+    SeqNum chainNext = 0;  ///< next consumer in the same chain
+    SeqNum wakeHead = 0;   ///< head of this µop's own consumer chain
+
+    // Rename bookkeeping (undone newest-first on flush).
     SeqNum prevRegProducer = 0;
     RegIdx claimedReg = 0;
     bool claimsReg = false;
@@ -104,10 +141,19 @@ struct DynInst
     Cycle completeCycle = 0;
 
     // Memory.
-    bool isMemOp = false;
     bool memSkipped = false; ///< predicated-off: no access
     Addr memAddr = 0;
     std::uint8_t memSize = 0;
+
+    bool isCtrl() const { return pre & kPreCtrl; }
+    bool isCondBr() const { return pre & kPreCondBr; }
+    bool isLoadOp() const { return pre & kPreLoad; }
+    bool isStoreOp() const { return pre & kPreStore; }
+    bool isMemOp() const { return pre & kPreMem; }
+    bool writesReg() const { return pre & kPreWritesReg; }
+    bool writesPred() const { return pre & kPreWritesPred; }
+    bool readsRs1() const { return pre & kPreReadsRs1; }
+    bool readsRs2() const { return pre & kPreReadsRs2; }
 };
 
 /** Summary of one simulation run. */
@@ -147,6 +193,7 @@ class Core
     void stageRetire();
     void stageComplete();
     void stageIssue();
+    void stageIssuePoll(); ///< reference scheduler (pollScheduler knob)
     void stageRename();
     void stageFetch();
 
@@ -164,6 +211,21 @@ class Core
     void claimProducers(DynInst &di);
     unsigned loadLatency(const DynInst &di);
     void retireWishStats(const DynInst &di);
+
+    // Event-driven wakeup.
+    void scheduleOrReady(DynInst &di);     ///< link under a producer or ready
+    void wakeConsumers(DynInst &producer); ///< producer completed
+    void unlinkWaiter(DynInst &di);        ///< remove from its wait chain
+    /** Issue one ready µop if no structural/memory hazard blocks it. */
+    bool tryIssueOne(DynInst &di, unsigned &memPorts);
+
+    // In-flight store index (O(words-touched) instead of O(stores)).
+    void indexStore(SeqNum seq, Addr addr, unsigned size);
+    void unindexStore(SeqNum seq, Addr addr, unsigned size);
+    /** Youngest in-flight store older than 'seq' overlapping the given
+     *  range, or null. */
+    const DynInst *youngestOlderStore(SeqNum seq, Addr addr,
+                                      unsigned size) const;
 
     SimParams params_;
     StatSet &stats_;
@@ -184,22 +246,41 @@ class Core
 
     // Program and speculative architectural state.
     const Program *prog_ = nullptr;
+    const Instruction *code_ = nullptr;
     std::uint32_t codeSize_ = 0;
     ArchState state_;
     UndoLog undo_;
+
+    /** Per-PC predecoded metadata (PreFlag mask + execute latency),
+     *  built once per run(). */
+    struct PreDecode
+    {
+        std::uint16_t flags = 0;
+        std::uint8_t exLat = 1;
+    };
+    std::vector<PreDecode> pre_;
 
     // Front end.
     std::uint32_t fetchPc_ = 0;
     bool fetchHalted_ = false;
     Cycle fetchStallUntil_ = 0;
-    std::deque<DynInst> fetchQueue_;
+    RingBuffer<DynInst> fetchQueue_;
     unsigned fetchQueueCap_ = 0;
 
-    // Back end. rob_ holds renamed in-flight µops in order.
-    std::deque<DynInst> rob_;
+    // Back end. rob_ holds renamed in-flight µops in order; seq numbers
+    // are dense (rob_[i].seq == rob_.front().seq + i).
+    RingBuffer<DynInst> rob_;
     SeqNum nextSeq_ = 1;
     std::uint64_t nextUid_ = 1;
-    std::vector<SeqNum> iq_;  ///< seqnums in the scheduler
+    /** Scheduler occupancy (µops renamed but not yet completed); the
+     *  explicit seqnum list it replaced is gone. */
+    std::size_t iqCount_ = 0;
+
+    /** Ready list: renamed, un-issued µops whose producers have all
+     *  completed (or that are retrying after a structural hazard).
+     *  Kept sorted by seq before each issue sweep (oldest first). */
+    std::vector<SeqNum> readyList_;
+    bool readySorted_ = true;
 
     /** Completion events: (cycle, seq, uid), earliest first. */
     struct Event
@@ -218,10 +299,17 @@ class Core
 
     Cycle now_ = 0;
     bool haltRetired_ = false;
-    /** Completion cycles of outstanding L1D misses (MSHR occupancy). */
-    std::vector<Cycle> outstandingMisses_;
+    /** Completion cycles of outstanding L1D misses (MSHR occupancy),
+     *  earliest first; stale heads are popped at the MSHR check instead
+     *  of scanning every slot per load issue. */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        missHeap_;
     /** Seqnums of in-flight (renamed, unretired) stores, ascending. */
     std::vector<SeqNum> storeSeqs_;
+    /** Word-granular index over those stores: 8-byte-aligned word ->
+     *  ascending seqnums of in-flight stores touching it. Buckets are
+     *  kept allocated (cleared, not erased) across reuse. */
+    std::unordered_map<Addr, std::vector<SeqNum>> storesByWord_;
     std::uint64_t retiredUops_ = 0;
 
     // Statistics handles.
@@ -234,6 +322,12 @@ class Core
     Counter *cFlushes_;
     Histogram *hFetchWidth_;
     Histogram *hFlushSquash_;
+    /** Lazily resolved wish retire-outcome counters, indexed by
+     *  [kind][lowConf][outcome slot]. Lazy (not construction-time) so
+     *  the set of registered counters — part of the stat output — is
+     *  unchanged: a counter still appears only once its event occurs. */
+    Counter *wishOutcome_[3][2][5] = {};
+    Counter &wishOutcomeCounter(WishKind kind, bool low, unsigned slot);
 };
 
 /** Convenience: simulate a program with the given configuration. */

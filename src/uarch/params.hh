@@ -155,6 +155,17 @@ struct SimParams
     /** Cross-check the final architectural state against the reference
      *  functional emulator at halt (cheap, on by default). */
     bool checkFinalState = true;
+
+    /**
+     * Verification knob: select the O(window²) poll-based issue loop
+     * (rescan every scheduler entry and re-evaluate every producer
+     * dependence each cycle) instead of the event-driven wakeup
+     * scheduler. Both must produce bit-identical statistics; the
+     * property tests cross-check them against each other. Never enable
+     * this for experiments — it only exists to keep the fast scheduler
+     * honest.
+     */
+    bool pollScheduler = false;
 };
 
 } // namespace wisc

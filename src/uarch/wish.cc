@@ -18,6 +18,8 @@ frontEndModeName(FrontEndMode m)
 WishEngine::WishEngine(StatSet &stats, bool loopBias)
     : loopBias_(loopBias)
 {
+    predBuffer_.fill(-1);
+    complementOf_.fill(kPredNone);
     lowEntries_ = &stats.counter("wish.low_conf_entries",
                                  "times the front end entered "
                                  "low-confidence-mode");
@@ -56,10 +58,10 @@ WishEngine::armPredicateBuffer(PredIdx srcPred, bool value)
 {
     if (srcPred == 0)
         return;
-    predBuffer_[srcPred] = value;
-    auto it = complementOf_.find(srcPred);
-    if (it != complementOf_.end() && it->second != kPredNone)
-        predBuffer_[it->second] = !value;
+    predBuffer_[srcPred] = value ? 1 : 0;
+    PredIdx comp = complementOf_[srcPred];
+    if (comp != kPredNone)
+        predBuffer_[comp] = value ? 0 : 1;
 }
 
 WishDecision
@@ -171,7 +173,7 @@ WishEngine::onFlush()
     mode_ = FrontEndMode::Normal;
     lowConfFromLoop_ = false;
     pendingTarget_ = 0xffffffff;
-    predBuffer_.clear();
+    predBuffer_.fill(-1);
 }
 
 void
@@ -187,16 +189,16 @@ void
 WishEngine::notePredWrite(PredIdx pd)
 {
     if (pd != kPredNone)
-        predBuffer_.erase(pd);
+        predBuffer_[pd] = -1;
 }
 
 std::optional<bool>
 WishEngine::predictedPredicate(PredIdx p) const
 {
-    auto it = predBuffer_.find(p);
-    if (it == predBuffer_.end())
+    const std::int8_t v = predBuffer_[p];
+    if (v < 0)
         return std::nullopt;
-    return it->second;
+    return v != 0;
 }
 
 bool

@@ -18,6 +18,7 @@
 #ifndef WISC_UARCH_WISH_HH_
 #define WISC_UARCH_WISH_HH_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -113,10 +114,12 @@ class WishEngine
     bool lowConfFromLoop_ = false;
     std::uint32_t pendingTarget_ = 0xffffffff;
 
-    /** predicate -> predicted value (the §3.5.3 special buffer). */
-    std::map<PredIdx, bool> predBuffer_;
-    /** predicate -> complement written by the same compare. */
-    std::map<PredIdx, PredIdx> complementOf_;
+    /** Predicted value per predicate register, -1 = not buffered (the
+     *  §3.5.3 special buffer). Queried for every fetched µop, so it is
+     *  a flat array rather than a map. */
+    std::array<std::int8_t, kNumPredRegs> predBuffer_;
+    /** Complement written by the same compare, kPredNone = unknown. */
+    std::array<PredIdx, kNumPredRegs> complementOf_;
     /** static wish loop pc -> last front-end prediction. */
     std::map<std::uint32_t, bool> loopLastPred_;
 

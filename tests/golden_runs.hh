@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The fixed (workload, binary variant, machine) matrix behind the
+ * golden-stat regression test. The golden values in
+ * golden_stats_data.inc were captured from this exact matrix on the
+ * seed (poll-scheduler) core; the test proves the event-driven
+ * scheduler and DynInst layout rewrite left every counter and histogram
+ * bit-identical. Regenerate with the golden_stats_gen tool after an
+ * *intentional* timing-model change:
+ *
+ *   build/tests/golden_stats_gen > tests/golden_stats_data.inc
+ */
+
+#ifndef WISC_TESTS_GOLDEN_RUNS_HH_
+#define WISC_TESTS_GOLDEN_RUNS_HH_
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace wisc {
+
+struct GoldenRunSpec
+{
+    std::string label;
+    std::string workload;
+    BinaryVariant variant;
+    InputSet input;
+    SimParams params;
+};
+
+/** One run per binary *type* (normal branch / predicated / wish), plus
+ *  the select-µop machine and a small-window machine for config
+ *  coverage. */
+inline std::vector<GoldenRunSpec>
+goldenRuns()
+{
+    SimParams def;
+
+    SimParams selectUop = def;
+    selectUop.predMech = PredMechanism::SelectUop;
+
+    SimParams smallWindow = def;
+    smallWindow.robSize = 128;
+    smallWindow.iqSize = 32;
+    smallWindow.lsqSize = 64;
+
+    return {
+        {"normal", "gzip", BinaryVariant::Normal, InputSet::A, def},
+        {"base-max", "gzip", BinaryVariant::BaseMax, InputSet::A, def},
+        {"wish-jjl", "gzip", BinaryVariant::WishJumpJoinLoop, InputSet::A,
+         def},
+        {"wish-jjl-selectuop", "gzip", BinaryVariant::WishJumpJoinLoop,
+         InputSet::A, selectUop},
+        {"wish-jjl-win128", "gzip", BinaryVariant::WishJumpJoinLoop,
+         InputSet::A, smallWindow},
+    };
+}
+
+} // namespace wisc
+
+#endif // WISC_TESTS_GOLDEN_RUNS_HH_
