@@ -11,16 +11,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(ablation_confidence)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "ablation_confidence");
     printBanner(std::cout, "Ablation: JRS confidence estimator design",
                 "wish-jjl execution time normalized to the normal binary "
                 "(input A)");
@@ -47,7 +51,7 @@ main(int argc, char **argv)
                 configs.push_back({hist, thresh, missHigh});
 
     std::vector<std::vector<std::string>> rows(configs.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(configs.size(), [&](std::size_t i) {
         const Config &c = configs[i];
         std::vector<std::string> row = {
@@ -78,3 +82,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

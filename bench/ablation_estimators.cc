@@ -11,15 +11,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(ablation_estimators)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "ablation_estimators");
     printBanner(std::cout, "Extension: confidence estimator comparison",
                 "wish-jjl execution time normalized to the normal binary "
                 "(input A)");
@@ -46,3 +50,5 @@ main(int argc, char **argv)
     cli.addResults("results", r);
     return cli.finish();
 }
+
+} // namespace

@@ -11,16 +11,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(ablation_heuristics)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "ablation_heuristics");
     printBanner(std::cout, "Extension: compile-time wish heuristics",
                 "wish-jjl execution time normalized to the normal "
                 "binary, and static wish-branch counts (input A)");
@@ -32,7 +36,7 @@ main(int argc, char **argv)
         std::vector<std::string> cells;
     };
     std::vector<Row> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompileOptions sizeOnly;
@@ -82,3 +86,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

@@ -9,16 +9,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(ablation_loop_bias)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "ablation_loop_bias");
     printBanner(std::cout, "Ablation: overestimating wish-loop predictor",
                 "wish-jjl relative time and loop-exit classification "
                 "(input A)");
@@ -26,7 +30,7 @@ main(int argc, char **argv)
     const std::vector<std::string> names = {"gzip", "vpr", "parser",
                                             "bzip2", "gap"};
     std::vector<std::vector<std::vector<std::string>>> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -57,3 +61,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

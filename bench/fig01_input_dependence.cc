@@ -13,16 +13,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig01_input_dependence)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig01_input_dependence");
     printBanner(std::cout,
                 "Figure 1: predicated-code execution time vs. input set",
                 "BASE-MAX binary (every suitable region predicated), "
@@ -31,7 +35,7 @@ main(int argc, char **argv)
 
     const std::vector<std::string> &names = workloadNames();
     std::vector<std::vector<std::string>> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -55,3 +59,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

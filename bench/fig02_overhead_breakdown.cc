@@ -16,15 +16,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig02_overhead_breakdown)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig02_overhead_breakdown");
     printBanner(std::cout,
                 "Figure 2: overhead sources of predicated execution",
                 "execution time normalized to the normal-branch binary "
@@ -55,3 +59,5 @@ main(int argc, char **argv)
     cli.addResults("results", r);
     return cli.finish();
 }
+
+} // namespace

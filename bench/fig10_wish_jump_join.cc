@@ -8,15 +8,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig10_wish_jump_join)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig10_wish_jump_join");
     printBanner(std::cout, "Figure 10: wish jump/join binaries",
                 "execution time normalized to the normal-branch binary "
                 "(input A)");
@@ -39,3 +43,5 @@ main(int argc, char **argv)
     cli.addResults("results", r);
     return cli.finish();
 }
+
+} // namespace

@@ -9,15 +9,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig12_wish_loops)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig12_wish_loops");
     printBanner(std::cout, "Figure 12: wish jump/join/loop binaries",
                 "execution time normalized to the normal-branch binary "
                 "(input A)");
@@ -50,3 +54,5 @@ main(int argc, char **argv)
     cli.add("improvement_vs_best_pred_pct", json::Value(vsPred));
     return cli.finish();
 }
+
+} // namespace

@@ -10,16 +10,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig13_wish_loop_stats)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig13_wish_loop_stats");
     printBanner(std::cout,
                 "Figure 13: dynamic wish loops per 1M retired µops",
                 "wish jump/join/loop binary, real JRS confidence "
@@ -27,7 +31,7 @@ main(int argc, char **argv)
 
     const std::vector<std::string> &names = workloadNames();
     std::vector<std::vector<std::string>> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -57,3 +61,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

@@ -8,15 +8,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig14_window_sweep)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig14_window_sweep");
     printBanner(std::cout, "Figure 14: instruction window sweep",
                 "AVG / AVGnomcf execution time normalized to the "
                 "normal-branch binary on the same machine (input A)");
@@ -50,3 +54,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

@@ -10,15 +10,19 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/experiments.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(fig16_select_uop)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "fig16_select_uop");
     printBanner(std::cout, "Figure 16: select-uop predication mechanism",
                 "execution time normalized to the normal-branch binary "
                 "on the select-uop machine (input A)");
@@ -46,3 +50,5 @@ main(int argc, char **argv)
     cli.addResults("results", r);
     return cli.finish();
 }
+
+} // namespace

@@ -10,22 +10,26 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(table3_binaries)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "table3_binaries");
     printBanner(std::cout, "Table 3: compiled binary variants",
                 "static instruction and branch composition per variant");
 
     const std::vector<std::string> &names = workloadNames();
     std::vector<std::vector<std::vector<std::string>>> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -49,3 +53,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

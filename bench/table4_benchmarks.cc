@@ -10,16 +10,20 @@
 
 #include "arch/emulator.hh"
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(table4_benchmarks)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "table4_benchmarks");
     printBanner(std::cout, "Table 4: simulated benchmarks",
                 "normal binary characteristics (input A) and wish "
                 "jump/join/loop binary wish-branch population");
@@ -30,7 +34,7 @@ main(int argc, char **argv)
 
     const std::vector<std::string> &names = workloadNames();
     std::vector<std::vector<std::string>> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -85,3 +89,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

@@ -12,16 +12,20 @@
 #include <iostream>
 
 #include "harness/bench_cli.hh"
+#include "harness/bench_registry.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
 using namespace wisc;
 
+WISC_BENCH_ENTRY(table5_best_binary)
+
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(BenchCli &cli)
 {
-    BenchCli cli(argc, argv, "table5_best_binary");
     printBanner(std::cout,
                 "Table 5: wish jump/join/loop vs best per-benchmark "
                 "binary",
@@ -38,7 +42,7 @@ main(int argc, char **argv)
         std::vector<std::string> cells;
     };
     std::vector<Row> rows(names.size());
-    ParallelRunner pool;
+    ParallelRunner &pool = ParallelRunner::shared();
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
@@ -87,3 +91,5 @@ main(int argc, char **argv)
     cli.addTable("table", t);
     return cli.finish();
 }
+
+} // namespace

@@ -9,9 +9,34 @@
 
 namespace wisc {
 
+namespace {
+
+/** Resolve the persistent-cache directory: flag > WISC_CACHE_DIR >
+ *  compiled-in default ("" = persistent layer off). */
+std::string
+resolveCacheDir(const std::string &flagDir, bool noCache)
+{
+    if (noCache)
+        return {};
+    if (!flagDir.empty())
+        return flagDir;
+    if (const char *env = std::getenv("WISC_CACHE_DIR"))
+        if (*env)
+            return env;
+#ifdef WISC_CACHE_DEFAULT_DIR
+    return WISC_CACHE_DEFAULT_DIR;
+#else
+    return {};
+#endif
+}
+
+} // namespace
+
 BenchCli::BenchCli(int argc, char **argv, std::string name)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now())
 {
+    std::string cacheDir;
+    bool noCache = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--json") {
@@ -20,13 +45,28 @@ BenchCli::BenchCli(int argc, char **argv, std::string name)
                 std::exit(2);
             }
             path_ = argv[++i];
+        } else if (a == "--cache") {
+            if (i + 1 >= argc) {
+                std::cerr << name_ << ": --cache requires a directory\n";
+                std::exit(2);
+            }
+            cacheDir = argv[++i];
+        } else if (a == "--no-cache") {
+            noCache = true;
         } else if (a == "--help" || a == "-h") {
-            std::cout << "usage: " << name_ << " [--json PATH]\n"
+            std::cout << "usage: " << name_
+                      << " [--json PATH] [--cache DIR | --no-cache]\n"
                       << "\n"
                       << "  --json PATH   also write the results as JSON "
                          "(WISC_RESULTS_JSON env\n"
                       << "                variable is the fallback "
                          "destination)\n"
+                      << "  --cache DIR   persist simulation results in a "
+                         "content-addressed cache\n"
+                      << "                (WISC_CACHE_DIR env variable is "
+                         "the fallback)\n"
+                      << "  --no-cache    ignore WISC_CACHE_DIR and any "
+                         "compiled-in default\n"
                       << "\n"
                       << "  WISC_JOBS=N   worker threads for the "
                          "simulation sweep (default: all cores)\n";
@@ -41,6 +81,25 @@ BenchCli::BenchCli(int argc, char **argv, std::string name)
         if (const char *env = std::getenv("WISC_RESULTS_JSON"))
             path_ = env;
     }
+
+    // Opt this process into the run cache: dedup always, persistent
+    // layer when a directory is configured.
+    RunService &svc = RunService::global();
+    svc.setMemoize(true);
+    svc.setCacheDir(resolveCacheDir(cacheDir, noCache));
+    cacheStart_ = svc.stats();
+
+    doc_["bench"] = name_;
+    doc_["schema_version"] = 1u;
+}
+
+BenchCli::BenchCli(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+    RunService &svc = RunService::global();
+    svc.setMemoize(true);
+    cacheStart_ = svc.stats();
+
     doc_["bench"] = name_;
     doc_["schema_version"] = 1u;
 }
@@ -54,6 +113,13 @@ BenchCli::add(const std::string &key, json::Value v)
 void
 BenchCli::addResults(const std::string &key, const NormalizedResults &r)
 {
+    // Every serialized outcome counts toward the throughput figures, so
+    // all normalized-experiment benches report uops_per_second.
+    for (const RunOutcome &b : r.baseline)
+        noteSimulated(b.result.retiredUops, b.result.cycles);
+    for (const auto &row : r.outcomes)
+        for (const RunOutcome &o : row)
+            noteSimulated(o.result.retiredUops, o.result.cycles);
     doc_[key] = toJson(r);
 }
 
@@ -71,11 +137,9 @@ BenchCli::elapsedSeconds() const
         .count();
 }
 
-int
-BenchCli::finish()
+void
+BenchCli::finalizeDoc()
 {
-    if (path_.empty())
-        return 0;
     doc_["jobs"] = ParallelRunner::defaultJobs();
     const double wall = elapsedSeconds();
     doc_["wall_seconds"] = wall;
@@ -88,6 +152,25 @@ BenchCli::finish()
                 static_cast<double>(simCycles_) / wall;
         }
     }
+
+    // Cache counters as deltas over this CLI's lifetime: in a
+    // many-experiment process each document reports its own traffic.
+    const RunCacheStats now = RunService::global().stats();
+    doc_["cache_hits"] = now.diskHits - cacheStart_.diskHits;
+    doc_["cache_misses"] = now.misses - cacheStart_.misses;
+    doc_["dedup_hits"] = now.dedupHits - cacheStart_.dedupHits;
+    doc_["cache_corrupt"] = now.corrupt - cacheStart_.corrupt;
+    const std::string dir = RunService::global().cacheDir();
+    if (!dir.empty())
+        doc_["cache_dir"] = dir;
+}
+
+int
+BenchCli::finish()
+{
+    finalizeDoc();
+    if (path_.empty())
+        return 0;
     try {
         writeJsonFile(path_, doc_);
     } catch (const FatalError &e) {

@@ -8,11 +8,25 @@
  * document:
  *
  *   { "bench": name, "schema_version": 1, "jobs": N,
- *     "wall_seconds": t, <sections added via add()/addResults()/...> }
+ *     "wall_seconds": t,
+ *     "cache_hits": d, "cache_misses": m, "dedup_hits": h,
+ *     <sections added via add()/addResults()/...> }
  *
- * A benchmark that accounts its simulated work via noteSimulated() also
- * gets "simulated_uops", "simulated_cycles", "uops_per_second", and
- * "cycles_per_second" — the simulator-throughput figures of merit.
+ * cache_hits counts persistent-store replays, dedup_hits in-process
+ * coalesced/memoized requests, cache_misses fresh simulations — all
+ * deltas over this CLI's lifetime, so the numbers stay per-experiment
+ * even when many experiments share one process (bench/run_matrix).
+ *
+ * Constructing a BenchCli also opts the process into the run cache:
+ * in-process dedup always, and the persistent layer when a directory is
+ * configured via `--cache DIR`, WISC_CACHE_DIR, or the compiled-in
+ * -DWISC_CACHE_DEFAULT_DIR (in that precedence order; `--no-cache`
+ * wins over everything).
+ *
+ * A benchmark whose results flow through addResults() — or that calls
+ * noteSimulated() itself — also gets "simulated_uops",
+ * "simulated_cycles", "uops_per_second", and "cycles_per_second", the
+ * simulator-throughput figures of merit.
  *
  * This is what produces the repo's BENCH_*.json trajectory files.
  */
@@ -25,6 +39,7 @@
 
 #include "common/json.hh"
 #include "harness/experiments.hh"
+#include "harness/run_cache.hh"
 #include "harness/table.hh"
 
 namespace wisc {
@@ -34,6 +49,14 @@ class BenchCli
   public:
     /** Parses argv; exits with usage on unknown flags. */
     BenchCli(int argc, char **argv, std::string name);
+
+    /**
+     * Embedded constructor (no argv): used by orchestrators like
+     * bench/run_matrix that run many experiments in one process. The
+     * document is built as usual but finish() never writes a file —
+     * the orchestrator collects it via document().
+     */
+    explicit BenchCli(std::string name);
 
     /** True when a --json/WISC_RESULTS_JSON destination is set. */
     bool jsonRequested() const { return !path_.empty(); }
@@ -45,7 +68,8 @@ class BenchCli
 
     /** Account simulated work (retired µops and simulated cycles) so
      *  finish() can report simulator throughput next to wall_seconds.
-     *  Call once per completed simulation; accumulates. */
+     *  Call once per completed simulation; accumulates. addResults()
+     *  calls this for every RunOutcome it serializes. */
     void
     noteSimulated(std::uint64_t uops, std::uint64_t cycles)
     {
@@ -54,18 +78,27 @@ class BenchCli
     }
 
     std::uint64_t simulatedUops() const { return simUops_; }
+    std::uint64_t simulatedCycles() const { return simCycles_; }
 
     /** Wall seconds elapsed since construction. */
     double elapsedSeconds() const;
 
-    /** Write the document if requested. Returns the process exit code. */
+    /** Finalize the document (timings, throughput, cache counters) and
+     *  write it if a destination is set. Returns the process exit
+     *  code. */
     int finish();
 
+    /** The document built so far (complete after finish()). */
+    const json::Value &document() const { return doc_; }
+
   private:
+    void finalizeDoc();
+
     std::string name_;
     std::string path_;
     json::Value doc_ = json::Value::object();
     std::chrono::steady_clock::time_point start_;
+    RunCacheStats cacheStart_; ///< global-service counters at start
     std::uint64_t simUops_ = 0;
     std::uint64_t simCycles_ = 0;
 };

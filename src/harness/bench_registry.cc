@@ -1,0 +1,45 @@
+#include "harness/bench_registry.hh"
+
+#include "common/log.hh"
+
+namespace wisc {
+
+namespace {
+
+/** Function-local singleton: safe to use from static initializers in
+ *  other TUs regardless of initialization order. */
+std::vector<BenchEntry> &
+mutableRegistry()
+{
+    static std::vector<BenchEntry> entries;
+    return entries;
+}
+
+} // namespace
+
+bool
+registerBench(const char *name, BenchFn fn)
+{
+    wisc_assert(fn != nullptr, "null bench entry '", name, "'");
+    for (const BenchEntry &e : mutableRegistry())
+        wisc_assert(e.name != name, "duplicate bench entry '", name, "'");
+    mutableRegistry().push_back({name, fn});
+    return true;
+}
+
+const std::vector<BenchEntry> &
+benchRegistry()
+{
+    return mutableRegistry();
+}
+
+BenchFn
+findBench(const std::string &name)
+{
+    for (const BenchEntry &e : mutableRegistry())
+        if (e.name == name)
+            return e.fn;
+    return nullptr;
+}
+
+} // namespace wisc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Registry of experiment entry points, so each figure/table/ablation
+ * lives once in bench/<name>.cc and is reachable two ways:
+ *
+ *  - as its own standalone binary (the historical interface): the TU is
+ *    compiled with -DWISC_BENCH_STANDALONE and the WISC_BENCH_ENTRY
+ *    macro emits a main() that builds a BenchCli from argv;
+ *
+ *  - linked into bench/run_matrix, which compiles the same TUs without
+ *    the define, looks experiments up by name, and invokes them
+ *    in-process with embedded BenchClis — one ParallelRunner, one
+ *    RunService, so identical simulations across experiments execute
+ *    once and every document lands in a single consolidated JSON.
+ *
+ * Usage in an experiment TU:
+ *
+ *   WISC_BENCH_ENTRY(fig12_wish_loops)
+ *   namespace {
+ *   int
+ *   benchMain(BenchCli &cli)
+ *   {
+ *       ...experiment body (prints tables, fills cli)...
+ *       return cli.finish();
+ *   }
+ *   } // namespace
+ */
+
+#ifndef WISC_HARNESS_BENCH_REGISTRY_HH_
+#define WISC_HARNESS_BENCH_REGISTRY_HH_
+
+#include <string>
+#include <vector>
+
+#include "harness/bench_cli.hh"
+
+namespace wisc {
+
+using BenchFn = int (*)(BenchCli &);
+
+struct BenchEntry
+{
+    std::string name;
+    BenchFn fn = nullptr;
+};
+
+/** Register one experiment (called by static initializers; the bool
+ *  return lets the macro bind it to a namespace-scope constant). */
+bool registerBench(const char *name, BenchFn fn);
+
+/** Every registered experiment. Order is link order — orchestrators
+ *  that need a deterministic schedule should look up by name. */
+const std::vector<BenchEntry> &benchRegistry();
+
+/** Lookup by name; nullptr when absent. */
+BenchFn findBench(const std::string &name);
+
+} // namespace wisc
+
+#ifdef WISC_BENCH_STANDALONE
+#define WISC_BENCH_MAIN_(name) \
+    int main(int argc, char **argv) \
+    { \
+        ::wisc::BenchCli cli(argc, argv, #name); \
+        return benchMain(cli); \
+    }
+#else
+#define WISC_BENCH_MAIN_(name)
+#endif
+
+/** Declare, register, and (standalone builds) wrap one experiment's
+ *  benchMain. The function itself is file-local, so every experiment TU
+ *  can use the same identifier. */
+#define WISC_BENCH_ENTRY(name) \
+    namespace { \
+    int benchMain(::wisc::BenchCli &cli); \
+    [[maybe_unused]] const bool registeredBench_ = \
+        ::wisc::registerBench(#name, &benchMain); \
+    } \
+    WISC_BENCH_MAIN_(name)
+
+#endif // WISC_HARNESS_BENCH_REGISTRY_HH_

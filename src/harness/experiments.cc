@@ -1,7 +1,9 @@
 #include "harness/experiments.hh"
 
 #include <map>
+#include <optional>
 
+#include "common/log.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/table.hh"
 
@@ -13,6 +15,10 @@ runNormalizedExperiment(const std::vector<SeriesSpec> &series,
                         const std::vector<std::string> &benchmarks,
                         unsigned jobs)
 {
+    if (benchmarks.empty())
+        wisc_fatal("runNormalizedExperiment: empty benchmark list (the "
+                   "AVG column would divide by zero)");
+
     NormalizedResults out;
     out.benchmarks = benchmarks;
     for (const auto &s : series)
@@ -20,7 +26,14 @@ runNormalizedExperiment(const std::vector<SeriesSpec> &series,
     out.avg.assign(series.size(), 0.0);
     out.avgNoMcf.assign(series.size(), 0.0);
 
-    ParallelRunner pool(jobs);
+    // jobs == 0 fans out through the process-wide pool, so experiments
+    // sharing one process (bench/run_matrix) share one set of workers;
+    // an explicit count gets a private pool of exactly that width.
+    std::optional<ParallelRunner> privatePool;
+    if (jobs)
+        privatePool.emplace(jobs);
+    ParallelRunner &pool = jobs ? *privatePool : ParallelRunner::shared();
+
     const std::size_t nb = benchmarks.size();
     const std::size_t runsPer = series.size() + 1; // slot 0 = baseline
 

@@ -22,6 +22,13 @@ ParallelRunner::defaultJobs()
     return hw ? hw : 1;
 }
 
+ParallelRunner &
+ParallelRunner::shared()
+{
+    static ParallelRunner pool;
+    return pool;
+}
+
 ParallelRunner::ParallelRunner(unsigned jobs)
     : jobs_(jobs ? jobs : defaultJobs())
 {

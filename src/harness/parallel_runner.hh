@@ -58,6 +58,15 @@ class ParallelRunner
     /** The pool size a default-constructed runner would use. */
     static unsigned defaultJobs();
 
+    /**
+     * Process-wide pool, created on first use at defaultJobs() width.
+     * Experiment code that just wants "the machine's cores" should use
+     * this instead of constructing private pools, so a many-experiment
+     * process (bench/run_matrix) fans every simulation out through one
+     * set of workers.
+     */
+    static ParallelRunner &shared();
+
   private:
     void workerLoop();
 

@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include "common/log.hh"
+#include "harness/run_cache.hh"
 
 namespace wisc {
 
@@ -42,11 +43,17 @@ RunOutcome
 runWorkload(const CompiledWorkload &w, BinaryVariant v, InputSet input,
             const SimParams &params)
 {
-    return capture(programFor(w, v, input), params);
+    return runProgram(programFor(w, v, input), params);
 }
 
 RunOutcome
 runProgram(const Program &prog, const SimParams &params)
+{
+    return RunService::global().run(prog, params);
+}
+
+RunOutcome
+runProgramFresh(const Program &prog, const SimParams &params)
 {
     return capture(prog, params);
 }

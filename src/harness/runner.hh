@@ -63,14 +63,23 @@ struct RunOutcome
     }
 };
 
-/** Run one (workload, variant, input, machine) combination. */
+/** Run one (workload, variant, input, machine) combination. Served
+ *  through the global RunService, so identical requests dedup/replay
+ *  when the run cache is enabled (pass-through otherwise). */
 RunOutcome runWorkload(const CompiledWorkload &w, BinaryVariant v,
                        InputSet input,
                        const SimParams &params = SimParams{});
 
-/** Run an arbitrary program (used by component studies). */
+/** Run an arbitrary program (used by component studies). Served through
+ *  the global RunService like runWorkload(). */
 RunOutcome runProgram(const Program &prog,
                       const SimParams &params = SimParams{});
+
+/** Always simulate, never consult or populate the run cache. The
+ *  cache's own producer path, and the reference the cache tests compare
+ *  replayed outcomes against. */
+RunOutcome runProgramFresh(const Program &prog,
+                           const SimParams &params = SimParams{});
 
 } // namespace wisc
 

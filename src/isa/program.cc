@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/hash.hh"
 #include "common/log.hh"
 
 namespace wisc {
@@ -74,6 +75,40 @@ Program::validate() const
     }
     if (!has_halt)
         wisc_fatal("program has no halt instruction");
+}
+
+std::uint64_t
+Program::fingerprint() const
+{
+    // Hash field by field, never raw struct memory: Instruction has
+    // padding bytes whose contents are indeterminate.
+    Hasher h;
+    h.str("wisc.program.v1");
+    h.u32(entry_);
+    h.u64(code_.size());
+    for (const Instruction &inst : code_) {
+        h.u8(static_cast<std::uint8_t>(inst.op));
+        h.u8(inst.qp);
+        h.u8(inst.rd);
+        h.u8(inst.rs1);
+        h.u8(inst.rs2);
+        h.u8(inst.pd);
+        h.u8(inst.pd2);
+        h.u8(inst.ps);
+        h.u8(inst.ps2);
+        h.i64(inst.imm);
+        h.u32(inst.target);
+        h.u8(static_cast<std::uint8_t>(inst.wish));
+        h.b(inst.unc);
+    }
+    h.u64(data_.size());
+    for (const DataSegment &seg : data_) {
+        h.u64(seg.base);
+        h.u64(seg.words.size());
+        for (Word w : seg.words)
+            h.i64(w);
+    }
+    return h.digest();
 }
 
 std::string

@@ -96,6 +96,17 @@ class Program
     /** Full disassembly listing with label annotations. */
     std::string listing() const;
 
+    /**
+     * Content fingerprint of everything a simulation observes: the
+     * instruction image (every field of every µop), the data segments,
+     * and the entry point. Labels are deliberately excluded — they are
+     * listing metadata and never reach the core — so relabeling a
+     * binary does not invalidate cached runs. Two Programs with equal
+     * fingerprints produce bit-identical simulations under equal
+     * SimParams.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     std::vector<Instruction> code_;
     std::vector<DataSegment> data_;

@@ -1,0 +1,107 @@
+#include "uarch/params.hh"
+
+#include "common/hash.hh"
+
+namespace wisc {
+
+namespace {
+
+void
+hashCache(Hasher &h, const CacheParams &c)
+{
+    h.u32(c.sizeBytes);
+    h.u32(c.ways);
+    h.u32(c.lineBytes);
+    h.u32(c.hitLatency);
+}
+
+} // namespace
+
+std::uint64_t
+SimParams::fingerprint() const
+{
+    // Keep this exhaustive: every field that can change simulation
+    // behavior must land in the digest, or the run cache would replay a
+    // stale result for a different machine. The static_asserts below
+    // trip when SimParams/CacheParams/OracleKnobs grow, forcing whoever
+    // adds a field to extend this function (and the perturbation test).
+    static_assert(sizeof(CacheParams) == 16,
+                  "CacheParams changed: extend SimParams::fingerprint() "
+                  "and the field-perturbation test");
+    static_assert(sizeof(OracleKnobs) == 4,
+                  "OracleKnobs changed: extend SimParams::fingerprint() "
+                  "and the field-perturbation test");
+    static_assert(sizeof(SimParams) == 232,
+                  "SimParams changed: extend SimParams::fingerprint() "
+                  "and the field-perturbation test");
+
+    Hasher h;
+    h.str("wisc.simparams.v1");
+
+    h.u32(fetchWidth);
+    h.u32(decodeWidth);
+    h.u32(issueWidth);
+    h.u32(retireWidth);
+    h.u32(maxCondBrPerFetch);
+    h.u32(memPortsPerCycle);
+
+    h.u32(robSize);
+    h.u32(iqSize);
+    h.u32(lsqSize);
+    h.u32(pipelineStages);
+
+    hashCache(h, il1);
+    hashCache(h, dl1);
+    hashCache(h, l2);
+    h.u32(memLatency);
+    h.u32(maxOutstandingMisses);
+
+    h.u32(gshareEntries);
+    h.u32(pasHistEntries);
+    h.u32(pasPatternEntries);
+    h.u32(pasHistBits);
+    h.u32(selectorEntries);
+    h.u32(btbSets);
+    h.u32(btbWays);
+    h.u32(rasEntries);
+    h.u32(indirectEntries);
+
+    h.u32(confSets);
+    h.u32(confWays);
+    h.u32(confHistBits);
+    h.u32(confCtrBits);
+    h.u32(confThreshold);
+    h.u32(confTagBits);
+    h.b(confMissIsHigh);
+
+    h.u8(static_cast<std::uint8_t>(confKind));
+    h.u32(udConfEntries);
+    h.u32(udConfHistBits);
+    h.u32(udConfMax);
+    h.u32(udConfThreshold);
+    h.u32(udConfDownStep);
+
+    h.u32(latAlu);
+    h.u32(latMul);
+    h.u32(latDiv);
+    h.u32(latBranch);
+    h.u32(latStoreForward);
+
+    h.u8(static_cast<std::uint8_t>(predMech));
+    h.b(wishEnabled);
+    h.b(wishLoopBias);
+
+    h.b(oracle.noDepend);
+    h.b(oracle.noFetch);
+    h.b(oracle.perfectCBP);
+    h.b(oracle.perfectConfidence);
+
+    h.u64(maxCycles);
+    h.u64(maxRetired);
+    h.b(checkFinalState);
+    h.b(pollScheduler);
+
+    return h.digest();
+}
+
+} // namespace wisc

@@ -166,6 +166,17 @@ struct SimParams
      * honest.
      */
     bool pollScheduler = false;
+
+    /**
+     * Canonical content fingerprint over *every* field above (including
+     * pollScheduler: it must not alias the event path in the run
+     * cache even though the statistics are required to match). Two
+     * SimParams with equal fingerprints configure identical machines.
+     * params.cc carries a sizeof static_assert so a new field cannot be
+     * added without extending the hash, and the cache tests perturb
+     * each field individually to prove it lands in the digest.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 } // namespace wisc

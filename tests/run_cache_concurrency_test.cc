@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Concurrency hammer for RunService (part of the tsan-labeled
+ * wisc_parallel_tests binary): many threads issuing duplicate requests
+ * must coalesce onto single executions, agree bit-for-bit on the
+ * outcome, and leave consistent counters — under ThreadSanitizer when
+ * configured with -DWISC_SANITIZE=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/run_cache.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace wisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(RunServiceConcurrencyTest, DuplicateRequestsCoalesceAcrossThreads)
+{
+    RunService svc;
+    svc.setMemoize(true);
+
+    // A handful of distinct requests, each hammered by many threads.
+    CompiledWorkload w = compileWorkload("gzip");
+    const std::vector<Program> progs = {
+        programFor(w, BinaryVariant::Normal, InputSet::A),
+        programFor(w, BinaryVariant::WishJumpJoin, InputSet::A),
+        programFor(w, BinaryVariant::Normal, InputSet::C),
+    };
+
+    constexpr unsigned kThreadsPerProg = 6;
+    const std::size_t nReq = progs.size() * kThreadsPerProg;
+    std::vector<RunOutcome> outcomes(nReq);
+    std::atomic<unsigned> ready{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(nReq);
+    for (std::size_t i = 0; i < nReq; ++i) {
+        threads.emplace_back([&, i] {
+            // Crude start barrier so requests genuinely overlap.
+            ready.fetch_add(1);
+            while (ready.load() < nReq)
+                std::this_thread::yield();
+            outcomes[i] = svc.run(progs[i % progs.size()], SimParams{});
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Each distinct program simulated exactly once; everyone else
+    // coalesced or replayed from the memo.
+    RunCacheStats s = svc.stats();
+    EXPECT_EQ(s.misses, progs.size());
+    EXPECT_EQ(s.dedupHits, nReq - progs.size());
+    EXPECT_EQ(s.diskHits, 0u);
+
+    // All waiters on one key observed the identical outcome.
+    for (std::size_t i = progs.size(); i < nReq; ++i) {
+        const RunOutcome &a = outcomes[i % progs.size()];
+        const RunOutcome &b = outcomes[i];
+        EXPECT_EQ(a.result.cycles, b.result.cycles);
+        EXPECT_EQ(a.result.resultReg, b.result.resultReg);
+        EXPECT_EQ(a.result.memFingerprint, b.result.memFingerprint);
+        EXPECT_EQ(a.stats, b.stats);
+    }
+}
+
+TEST(RunServiceConcurrencyTest, ConcurrentWritersShareOneDiskStore)
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("wisc_cache_conc_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    CompiledWorkload w = compileWorkload("bzip2");
+    Program prog = programFor(w, BinaryVariant::Normal, InputSet::A);
+
+    {
+        RunService svc(dir.string());
+        constexpr unsigned kThreads = 8;
+        std::vector<std::thread> threads;
+        for (unsigned i = 0; i < kThreads; ++i)
+            threads.emplace_back(
+                [&] { svc.run(prog, SimParams{}); });
+        for (std::thread &t : threads)
+            t.join();
+        RunCacheStats s = svc.stats();
+        EXPECT_EQ(s.misses, 1u);
+        EXPECT_EQ(s.dedupHits, kThreads - 1);
+        EXPECT_EQ(s.diskWrites, 1u);
+    }
+
+    // A second service (fresh process stand-in) replays from disk even
+    // when hammered concurrently: one disk hit, the rest coalesce.
+    {
+        RunService svc(dir.string());
+        constexpr unsigned kThreads = 8;
+        std::vector<std::thread> threads;
+        for (unsigned i = 0; i < kThreads; ++i)
+            threads.emplace_back(
+                [&] { svc.run(prog, SimParams{}); });
+        for (std::thread &t : threads)
+            t.join();
+        RunCacheStats s = svc.stats();
+        EXPECT_EQ(s.diskHits, 1u);
+        EXPECT_EQ(s.misses, 0u);
+        EXPECT_EQ(s.dedupHits, kThreads - 1);
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+} // namespace
+} // namespace wisc
