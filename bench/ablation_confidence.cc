@@ -63,13 +63,13 @@ benchMain(BenchCli &cli)
             p.confThreshold = c.thresh;
             p.confMissIsHigh = c.missHigh;
             double n = static_cast<double>(
-                runWorkload(kv.second, BinaryVariant::Normal,
-                            InputSet::A, p)
+                run(RunRequest{kv.second, BinaryVariant::Normal,
+                               InputSet::A, p})
                     .result.cycles);
             double w = static_cast<double>(
-                runWorkload(kv.second,
-                            BinaryVariant::WishJumpJoinLoop,
-                            InputSet::A, p)
+                run(RunRequest{kv.second,
+                               BinaryVariant::WishJumpJoinLoop,
+                               InputSet::A, p})
                     .result.cycles);
             row.push_back(Table::num(w / n));
         }

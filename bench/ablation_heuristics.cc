@@ -47,18 +47,20 @@ benchMain(BenchCli &cli)
         CompiledWorkload wp = compileWorkload(name, profAware);
 
         double base = static_cast<double>(
-            runWorkload(ws, BinaryVariant::Normal, InputSet::A)
+            run(RunRequest{ws, BinaryVariant::Normal, InputSet::A})
                 .result.cycles);
-        double rs = static_cast<double>(
-                        runWorkload(ws, BinaryVariant::WishJumpJoinLoop,
-                                    InputSet::A)
-                            .result.cycles) /
-                    base;
-        double rp = static_cast<double>(
-                        runWorkload(wp, BinaryVariant::WishJumpJoinLoop,
-                                    InputSet::A)
-                            .result.cycles) /
-                    base;
+        double rs =
+            static_cast<double>(
+                run(RunRequest{ws, BinaryVariant::WishJumpJoinLoop,
+                               InputSet::A})
+                    .result.cycles) /
+            base;
+        double rp =
+            static_cast<double>(
+                run(RunRequest{wp, BinaryVariant::WishJumpJoinLoop,
+                               InputSet::A})
+                    .result.cycles) /
+            base;
         rows[i] = {rs, rp,
                    {name, Table::num(rs), Table::num(rp),
                     std::to_string(

@@ -38,10 +38,10 @@ benchMain(BenchCli &cli)
             SimParams p;
             p.wishLoopBias = bias;
             double n = static_cast<double>(
-                runWorkload(w, BinaryVariant::Normal, InputSet::A, p)
+                run(RunRequest{w, BinaryVariant::Normal, InputSet::A, p})
                     .result.cycles);
-            RunOutcome r = runWorkload(
-                w, BinaryVariant::WishJumpJoinLoop, InputSet::A, p);
+            RunOutcome r = run(RunRequest{
+                w, BinaryVariant::WishJumpJoinLoop, InputSet::A, p});
             rows[i].push_back(
                 {name, bias ? "on" : "off",
                  Table::num(static_cast<double>(r.result.cycles) / n),

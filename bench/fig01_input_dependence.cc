@@ -41,8 +41,10 @@ benchMain(BenchCli &cli)
         CompiledWorkload w = compileWorkload(name);
         std::vector<std::string> row = {name};
         for (InputSet in : {InputSet::A, InputSet::B, InputSet::C}) {
-            RunOutcome base = runWorkload(w, BinaryVariant::Normal, in);
-            RunOutcome pred = runWorkload(w, BinaryVariant::BaseMax, in);
+            RunOutcome base =
+                run(RunRequest{w, BinaryVariant::Normal, in});
+            RunOutcome pred =
+                run(RunRequest{w, BinaryVariant::BaseMax, in});
             row.push_back(Table::num(
                 static_cast<double>(pred.result.cycles) /
                 static_cast<double>(base.result.cycles)));

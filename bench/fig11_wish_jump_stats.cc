@@ -36,7 +36,7 @@ benchMain(BenchCli &cli)
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         RunOutcome r =
-            runWorkload(w, BinaryVariant::WishJumpJoin, InputSet::A);
+            run(RunRequest{w, BinaryVariant::WishJumpJoin, InputSet::A});
         double scale =
             1e6 / static_cast<double>(r.result.retiredUops);
         auto per1m = [&](const char *a, const char *b) {

@@ -35,8 +35,8 @@ benchMain(BenchCli &cli)
     pool.forEach(names.size(), [&](std::size_t i) {
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
-        RunOutcome r =
-            runWorkload(w, BinaryVariant::WishJumpJoinLoop, InputSet::A);
+        RunOutcome r = run(
+            RunRequest{w, BinaryVariant::WishJumpJoinLoop, InputSet::A});
         double scale =
             1e6 / static_cast<double>(r.result.retiredUops);
         auto per1m = [&](const char *k) {

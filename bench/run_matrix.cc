@@ -45,6 +45,7 @@ const char *const kMatrix[] = {
     "table4_benchmarks",
     "fig01_input_dependence",
     "fig02_overhead_breakdown",
+    "fig02_attribution",
     "fig10_wish_jump_join",
     "fig11_wish_jump_stats",
     "fig12_wish_loops",

@@ -39,13 +39,14 @@ benchMain(BenchCli &cli)
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
 
-        RunOutcome n = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+        RunOutcome n =
+            run(RunRequest{w, BinaryVariant::Normal, InputSet::A});
         const CompiledBinary &wjjl =
             w.variants.at(BinaryVariant::WishJumpJoinLoop);
 
         // Dynamic wish-branch counts come from a run of the wjjl binary.
-        RunOutcome wr =
-            runWorkload(w, BinaryVariant::WishJumpJoinLoop, InputSet::A);
+        RunOutcome wr = run(
+            RunRequest{w, BinaryVariant::WishJumpJoinLoop, InputSet::A});
         auto dynOf = [&](const char *kind) {
             std::uint64_t v = 0;
             for (const char *cls :

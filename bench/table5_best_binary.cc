@@ -47,16 +47,17 @@ benchMain(BenchCli &cli)
         const std::string &name = names[i];
         CompiledWorkload w = compileWorkload(name);
         double n = static_cast<double>(
-            runWorkload(w, BinaryVariant::Normal, InputSet::A)
+            run(RunRequest{w, BinaryVariant::Normal, InputSet::A})
                 .result.cycles);
         double d = static_cast<double>(
-            runWorkload(w, BinaryVariant::BaseDef, InputSet::A)
+            run(RunRequest{w, BinaryVariant::BaseDef, InputSet::A})
                 .result.cycles);
         double m = static_cast<double>(
-            runWorkload(w, BinaryVariant::BaseMax, InputSet::A)
+            run(RunRequest{w, BinaryVariant::BaseMax, InputSet::A})
                 .result.cycles);
         double wjl = static_cast<double>(
-            runWorkload(w, BinaryVariant::WishJumpJoinLoop, InputSet::A)
+            run(RunRequest{w, BinaryVariant::WishJumpJoinLoop,
+                           InputSet::A})
                 .result.cycles);
 
         double bestPred = std::min(d, m);

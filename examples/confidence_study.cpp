@@ -27,15 +27,16 @@ main()
     SimParams base;
     StatSet s;
     double normal = static_cast<double>(
-        runWorkload(w, BinaryVariant::Normal, InputSet::A).result.cycles);
+        run(RunRequest{w, BinaryVariant::Normal, InputSet::A})
+            .result.cycles);
 
     Table t({"threshold", "rel-time", "high-conf", "low-conf", "flushes",
              "high-mispred"});
     for (unsigned th : {1u, 2u, 4u, 8u, 12u, 15u}) {
         SimParams p;
         p.confThreshold = th;
-        RunOutcome r = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
-                                   InputSet::A, p);
+        RunOutcome r = run(RunRequest{
+            w, BinaryVariant::WishJumpJoinLoop, InputSet::A, p});
         std::uint64_t high = 0, low = 0, highM = 0;
         for (const char *k : {"jump", "join", "loop"}) {
             std::string pre = std::string("wish.") + k + ".";

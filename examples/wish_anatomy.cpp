@@ -12,6 +12,7 @@
 
 #include "isa/assembler.hh"
 #include "uarch/core.hh"
+#include "uarch/pipetrace.hh"
 
 int
 main()
@@ -61,7 +62,7 @@ main()
         StatSet stats;
         PipeTracer tracer(400);
         Core core(params, stats);
-        core.setTracer(&tracer);
+        core.addSink(&tracer);
         SimResult r = core.run(p);
 
         std::cout << "\n==== " << (wish ? "WISH JUMP/JOIN" : "NORMAL BRANCH")

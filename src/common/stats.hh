@@ -2,16 +2,17 @@
  * @file
  * Minimal statistics package in the spirit of gem5's Stats.
  *
- * Components register named counters/histograms in a StatSet. The harness
- * reads them by name after a simulation run and the StatSet can dump itself
- * in a human-readable form. Counters are plain uint64 values; formulas
- * (ratios such as IPC) are computed by the reader.
+ * Components register named counters/histograms/tables in a StatSet. The
+ * harness reads them by name after a simulation run and the StatSet can
+ * dump itself in a human-readable form. Counters are plain uint64 values;
+ * formulas (ratios such as IPC) are computed by the reader.
  *
  * Readers have two lookup flavors: get() tolerates unknown names (for
  * statistics that are only registered when the event occurs, such as the
- * per-class wish-branch counters), while require() treats an unknown name
- * as a hard configuration error — use it for statistics the simulator
- * always registers, so a misspelled name cannot silently read as zero.
+ * per-class wish-branch counters), while require<T>() treats an unknown
+ * name — or a name registered as a different kind of statistic — as a
+ * hard configuration error. Use it for statistics the simulator always
+ * registers, so a misspelled name cannot silently read as zero.
  */
 
 #ifndef WISC_COMMON_STATS_HH_
@@ -94,9 +95,57 @@ class Histogram
 };
 
 /**
+ * A keyed table of uint64 columns — one row per key, column layout fixed
+ * at registration. The per-static-branch profile is the canonical use:
+ * key = branch PC, columns = dynamic count / mispredicts / confidence
+ * outcomes / flush cycles. Rows materialize on first touch, zero-filled.
+ *
+ * The default constructor exists only so StatTable can live in
+ * containers; touching a row of an unconfigured table panics.
+ */
+class StatTable
+{
+  public:
+    StatTable() = default;
+
+    explicit StatTable(std::vector<std::string> columns)
+        : columns_(std::move(columns))
+    {
+        if (columns_.empty())
+            wisc_fatal("stat table constructed with zero columns");
+    }
+
+    /** The row for `key`, created zero-filled on first access. */
+    std::vector<std::uint64_t> &
+    row(std::uint64_t key)
+    {
+        wisc_assert(!columns_.empty(), "row() on an unconfigured table");
+        auto it = rows_.find(key);
+        if (it == rows_.end())
+            it = rows_.emplace(key,
+                               std::vector<std::uint64_t>(columns_.size()))
+                     .first;
+        return it->second;
+    }
+
+    void reset() { rows_.clear(); }
+
+    const std::vector<std::string> &columns() const { return columns_; }
+    const std::map<std::uint64_t, std::vector<std::uint64_t>> &
+    rows() const { return rows_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> columns_;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> rows_;
+};
+
+/**
  * Registry of named statistics. Names are hierarchical by convention
  * ("core.fetch.uops"). Registration returns a stable reference; the StatSet
- * must outlive all users.
+ * must outlive all users. A name identifies exactly one statistic of
+ * exactly one kind — registering or reading it as another kind is a hard
+ * error, not a shadowed second entry.
  */
 class StatSet
 {
@@ -112,17 +161,27 @@ class StatSet
     Histogram &histogram(const std::string &name, std::size_t buckets,
                          const std::string &desc = "");
 
+    /** Register (or look up) a keyed table with the given column names. */
+    StatTable &table(const std::string &name,
+                     std::vector<std::string> columns,
+                     const std::string &desc = "");
+
     /** Value of a counter by name; 0 if never registered. */
     std::uint64_t get(const std::string &name) const;
-
-    /** Value of a counter by name; hard error if never registered. */
-    std::uint64_t require(const std::string &name) const;
 
     /** True iff a counter with this name exists. */
     bool has(const std::string &name) const;
 
-    /** Read access to a registered histogram; hard error if unknown. */
-    const Histogram &requireHistogram(const std::string &name) const;
+    /**
+     * Typed lookup: require<Counter>("core.cycles"),
+     * require<Histogram>("core.fetch_width"),
+     * require<StatTable>("core.branch_profile"). Hard error if the name
+     * was never registered, or was registered as a different kind —
+     * the error names the actual kind so a reader that asks for the
+     * wrong one is told what it found, not just "unknown".
+     */
+    template <typename T>
+    const T &require(const std::string &name) const;
 
     /** Reset every registered statistic to zero. */
     void resetAll();
@@ -135,6 +194,9 @@ class StatSet
 
     /** All histogram names (sorted). */
     std::vector<std::string> histogramNames() const;
+
+    /** All table names (sorted). */
+    std::vector<std::string> tableNames() const;
 
   private:
     struct Entry
@@ -149,9 +211,27 @@ class StatSet
         Histogram hist;
     };
 
+    struct TableEntry
+    {
+        std::string desc;
+        StatTable table;
+    };
+
+    /** The kind a name is registered under, for mismatch diagnostics;
+     *  nullptr if the name is unknown. */
+    const char *kindOf(const std::string &name) const;
+
     std::map<std::string, Entry> counters_;
     std::map<std::string, HistEntry> histograms_;
+    std::map<std::string, TableEntry> tables_;
 };
+
+template <> const Counter &
+StatSet::require<Counter>(const std::string &name) const;
+template <> const Histogram &
+StatSet::require<Histogram>(const std::string &name) const;
+template <> const StatTable &
+StatSet::require<StatTable>(const std::string &name) const;
 
 } // namespace wisc
 

@@ -16,6 +16,11 @@ using Addr = std::uint64_t;
 /** Simulated clock cycle count. */
 using Cycle = std::uint64_t;
 
+/** "This event never happened" sentinel for Cycle-valued timestamps.
+ *  Cycle 0 is a legitimate timestamp (the first simulated cycle), so
+ *  absent events must be marked out-of-band. */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
 /** Architectural general-purpose register index. */
 using RegIdx = std::uint8_t;
 

@@ -1,6 +1,7 @@
 #include "harness/bench_cli.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/log.hh"
@@ -11,15 +12,82 @@ namespace wisc {
 
 namespace {
 
+/** One command-line flag: its spelling, argument placeholder (nullptr
+ *  for plain switches), help text, and where the parsed value lands in
+ *  the OutputSpec. The same table drives parsing and --help, so the
+ *  two cannot disagree. */
+struct FlagDesc
+{
+    const char *flag;
+    const char *arg;  ///< placeholder name, or nullptr for a switch
+    const char *help;
+    std::string OutputSpec::*strField; ///< set for argument flags
+    bool OutputSpec::*boolField;       ///< set for switches
+};
+
+constexpr FlagDesc kFlags[] = {
+    {"--json", "PATH",
+     "also write the results as JSON (WISC_RESULTS_JSON env\n"
+     "variable is the fallback destination)",
+     &OutputSpec::jsonPath, nullptr},
+    {"--cache", "DIR",
+     "persist simulation results in a content-addressed cache\n"
+     "(WISC_CACHE_DIR env variable is the fallback)",
+     &OutputSpec::cacheDir, nullptr},
+    {"--no-cache", nullptr,
+     "ignore WISC_CACHE_DIR and any compiled-in default", nullptr,
+     &OutputSpec::noCache},
+    {"--cpi-stack", nullptr,
+     "collect the attrib.* cycle-attribution counters (CPI stack)",
+     nullptr, &OutputSpec::cpiStack},
+    {"--branch-profile", nullptr,
+     "collect the per-static-branch core.branch_profile table", nullptr,
+     &OutputSpec::branchProfile},
+};
+
+void
+printUsage(const std::string &name)
+{
+    std::cout << "usage: " << name;
+    for (const FlagDesc &f : kFlags) {
+        std::cout << " [" << f.flag;
+        if (f.arg)
+            std::cout << ' ' << f.arg;
+        std::cout << ']';
+    }
+    std::cout << "\n\n";
+    for (const FlagDesc &f : kFlags) {
+        std::string head = f.flag;
+        if (f.arg)
+            head += std::string(" ") + f.arg;
+        std::cout << "  " << head;
+        // Two-column layout: pad the head, indent continuation lines.
+        const std::size_t col = 22;
+        std::size_t used = 2 + head.size();
+        if (used < col)
+            std::cout << std::string(col - used, ' ');
+        else
+            std::cout << "\n" << std::string(col, ' ');
+        for (const char *c = f.help; *c; ++c) {
+            std::cout << *c;
+            if (*c == '\n')
+                std::cout << std::string(col, ' ');
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n  WISC_JOBS=N           worker threads for the "
+                 "simulation sweep (default: all cores)\n";
+}
+
 /** Resolve the persistent-cache directory: flag > WISC_CACHE_DIR >
  *  compiled-in default ("" = persistent layer off). */
 std::string
-resolveCacheDir(const std::string &flagDir, bool noCache)
+resolveCacheDir(const OutputSpec &spec)
 {
-    if (noCache)
+    if (spec.noCache)
         return {};
-    if (!flagDir.empty())
-        return flagDir;
+    if (!spec.cacheDir.empty())
+        return spec.cacheDir;
     if (const char *env = std::getenv("WISC_CACHE_DIR"))
         if (*env)
             return env;
@@ -32,61 +100,51 @@ resolveCacheDir(const std::string &flagDir, bool noCache)
 
 } // namespace
 
-BenchCli::BenchCli(int argc, char **argv, std::string name)
-    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+OutputSpec
+OutputSpec::parse(int argc, char **argv, const std::string &name)
 {
-    std::string cacheDir;
-    bool noCache = false;
+    OutputSpec spec;
     for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "--json") {
-            if (i + 1 >= argc) {
-                std::cerr << name_ << ": --json requires a path\n";
-                std::exit(2);
-            }
-            path_ = argv[++i];
-        } else if (a == "--cache") {
-            if (i + 1 >= argc) {
-                std::cerr << name_ << ": --cache requires a directory\n";
-                std::exit(2);
-            }
-            cacheDir = argv[++i];
-        } else if (a == "--no-cache") {
-            noCache = true;
-        } else if (a == "--help" || a == "-h") {
-            std::cout << "usage: " << name_
-                      << " [--json PATH] [--cache DIR | --no-cache]\n"
-                      << "\n"
-                      << "  --json PATH   also write the results as JSON "
-                         "(WISC_RESULTS_JSON env\n"
-                      << "                variable is the fallback "
-                         "destination)\n"
-                      << "  --cache DIR   persist simulation results in a "
-                         "content-addressed cache\n"
-                      << "                (WISC_CACHE_DIR env variable is "
-                         "the fallback)\n"
-                      << "  --no-cache    ignore WISC_CACHE_DIR and any "
-                         "compiled-in default\n"
-                      << "\n"
-                      << "  WISC_JOBS=N   worker threads for the "
-                         "simulation sweep (default: all cores)\n";
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            printUsage(name);
             std::exit(0);
-        } else {
-            std::cerr << name_ << ": unknown option '" << a
+        }
+        const FlagDesc *match = nullptr;
+        for (const FlagDesc &f : kFlags)
+            if (a == f.flag)
+                match = &f;
+        if (!match) {
+            std::cerr << name << ": unknown option '" << a
                       << "' (try --help)\n";
             std::exit(2);
         }
+        if (match->strField) {
+            if (i + 1 >= argc) {
+                std::cerr << name << ": " << match->flag << " requires "
+                          << match->arg << "\n";
+                std::exit(2);
+            }
+            spec.*(match->strField) = argv[++i];
+        } else {
+            spec.*(match->boolField) = true;
+        }
     }
-    if (path_.empty()) {
+    if (spec.jsonPath.empty())
         if (const char *env = std::getenv("WISC_RESULTS_JSON"))
-            path_ = env;
-    }
+            spec.jsonPath = env;
+    return spec;
+}
 
+BenchCli::BenchCli(int argc, char **argv, std::string name)
+    : name_(std::move(name)), spec_(OutputSpec::parse(argc, argv, name_)),
+      start_(std::chrono::steady_clock::now())
+{
     // Opt this process into the run cache: dedup always, persistent
     // layer when a directory is configured.
     RunService &svc = RunService::global();
     svc.setMemoize(true);
-    svc.setCacheDir(resolveCacheDir(cacheDir, noCache));
+    svc.setCacheDir(resolveCacheDir(spec_));
     cacheStart_ = svc.stats();
 
     doc_["bench"] = name_;
@@ -169,15 +227,15 @@ int
 BenchCli::finish()
 {
     finalizeDoc();
-    if (path_.empty())
+    if (spec_.jsonPath.empty())
         return 0;
     try {
-        writeJsonFile(path_, doc_);
+        writeJsonFile(spec_.jsonPath, doc_);
     } catch (const FatalError &e) {
         std::cerr << name_ << ": " << e.what() << "\n";
         return 1;
     }
-    std::cerr << name_ << ": wrote " << path_ << "\n";
+    std::cerr << name_ << ": wrote " << spec_.jsonPath << "\n";
     return 0;
 }
 

@@ -2,9 +2,20 @@
  * @file
  * Shared command line for the bench/ experiment binaries.
  *
+ * Every output-related option lives in one place — OutputSpec — parsed
+ * from one flag table that also generates the --help text, so the
+ * experiment binaries cannot drift apart:
+ *
+ *   --json PATH       structured results document (fallback: the
+ *                     WISC_RESULTS_JSON environment variable)
+ *   --cache DIR       persistent run cache (fallback: WISC_CACHE_DIR,
+ *                     then the compiled-in -DWISC_CACHE_DEFAULT_DIR)
+ *   --no-cache        disable the persistent layer entirely
+ *   --cpi-stack       collect the attrib.* cycle-attribution CPI stack
+ *   --branch-profile  collect the per-static-branch profile table
+ *
  * Every bench binary prints its paper-style table to stdout exactly as
- * before; on top of that, `--json PATH` (or the WISC_RESULTS_JSON
- * environment variable when the flag is absent) writes a structured
+ * before; on top of that, a JSON destination writes a structured
  * document:
  *
  *   { "bench": name, "schema_version": 1, "jobs": N,
@@ -18,10 +29,8 @@
  * even when many experiments share one process (bench/run_matrix).
  *
  * Constructing a BenchCli also opts the process into the run cache:
- * in-process dedup always, and the persistent layer when a directory is
- * configured via `--cache DIR`, WISC_CACHE_DIR, or the compiled-in
- * -DWISC_CACHE_DEFAULT_DIR (in that precedence order; `--no-cache`
- * wins over everything).
+ * in-process dedup always, and the persistent layer when a directory
+ * is configured (`--no-cache` wins over everything).
  *
  * A benchmark whose results flow through addResults() — or that calls
  * noteSimulated() itself — also gets "simulated_uops",
@@ -44,10 +53,41 @@
 
 namespace wisc {
 
+/**
+ * Everything the bench command line says about *outputs*: where the
+ * JSON goes, how runs are cached, and which optional observability
+ * sections to collect. Parsed in exactly one place (parse()), from the
+ * same flag table that renders `--help`.
+ */
+struct OutputSpec
+{
+    std::string jsonPath;  ///< --json / WISC_RESULTS_JSON ("" = none)
+    std::string cacheDir;  ///< --cache (before env/default resolution)
+    bool noCache = false;  ///< --no-cache: kill the persistent layer
+    bool cpiStack = false; ///< --cpi-stack: attrib.* CPI stack
+    bool branchProfile = false; ///< --branch-profile: per-PC table
+
+    /** Parse argv (env fallbacks applied); prints usage and exits on
+     *  --help or an unknown flag. */
+    static OutputSpec parse(int argc, char **argv,
+                            const std::string &name);
+
+    /** Turn the observability requests into SimParams knobs. */
+    void
+    applyObservation(SimParams &p) const
+    {
+        if (cpiStack)
+            p.collectAttribution = true;
+        if (branchProfile)
+            p.collectBranchProfile = true;
+    }
+};
+
 class BenchCli
 {
   public:
-    /** Parses argv; exits with usage on unknown flags. */
+    /** Parses argv via OutputSpec::parse; exits with usage on unknown
+     *  flags. */
     BenchCli(int argc, char **argv, std::string name);
 
     /**
@@ -58,8 +98,11 @@ class BenchCli
      */
     explicit BenchCli(std::string name);
 
+    /** The parsed output configuration. */
+    const OutputSpec &output() const { return spec_; }
+
     /** True when a --json/WISC_RESULTS_JSON destination is set. */
-    bool jsonRequested() const { return !path_.empty(); }
+    bool jsonRequested() const { return !spec_.jsonPath.empty(); }
 
     /** Attach a section to the emitted document. */
     void add(const std::string &key, json::Value v);
@@ -95,7 +138,7 @@ class BenchCli
     void finalizeDoc();
 
     std::string name_;
-    std::string path_;
+    OutputSpec spec_;
     json::Value doc_ = json::Value::object();
     std::chrono::steady_clock::time_point start_;
     RunCacheStats cacheStart_; ///< global-service counters at start

@@ -62,7 +62,7 @@ runNormalizedExperiment(const std::vector<SeriesSpec> &series,
             r == 0 ? BinaryVariant::Normal : series[r - 1].variant;
         const SimParams &p =
             r == 0 ? baselineParams : series[r - 1].params;
-        runs[k] = runProgram(progs[b].at(v), p);
+        runs[k] = run(RunRequest{progs[b].at(v), p});
     });
 
     // Reassemble in benchmark/series order: identical arithmetic to a

@@ -32,6 +32,32 @@ toJson(const RunOutcome &r)
         hists[kv.first] = std::move(h);
     }
     v["histograms"] = std::move(hists);
+
+    // Stat tables (e.g. core.branch_profile) ride along only when the
+    // run produced any, so documents from table-free runs are unchanged.
+    if (!r.tables.empty()) {
+        json::Value tables = json::Value::object();
+        for (const auto &kv : r.tables) {
+            json::Value t = json::Value::object();
+            json::Value cols = json::Value::array();
+            for (const std::string &c : kv.second.columns)
+                cols.push(c);
+            t["columns"] = std::move(cols);
+            json::Value rows = json::Value::array();
+            for (const auto &row : kv.second.rows) {
+                json::Value jr = json::Value::object();
+                jr["key"] = row.first;
+                json::Value vals = json::Value::array();
+                for (std::uint64_t x : row.second)
+                    vals.push(x);
+                jr["values"] = std::move(vals);
+                rows.push(std::move(jr));
+            }
+            t["rows"] = std::move(rows);
+            tables[kv.first] = std::move(t);
+        }
+        v["tables"] = std::move(tables);
+    }
     return v;
 }
 

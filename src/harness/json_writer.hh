@@ -11,7 +11,13 @@
  *                     "result_reg": u64,
  *                     "counters": { name: u64, ... },
  *                     "histograms": { name: { "count": u64,
- *                                             "buckets": [u64...] } } }
+ *                                             "buckets": [u64...] } },
+ *                     "tables": { name: { "columns": [str...],
+ *                                         "rows": [ { "key": u64,
+ *                                            "values": [u64...] }...] } } }
+ *
+ * The "tables" member appears only when the run produced at least one
+ * StatTable (e.g. --branch-profile), so older documents are unaffected.
  *
  *   NormalizedResults
  *                -> { "benchmarks": [...], "series": [...],

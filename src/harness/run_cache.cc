@@ -18,7 +18,11 @@ namespace wisc {
 namespace {
 
 constexpr char kMagic[8] = {'W', 'I', 'S', 'C', 'R', 'U', 'N', '\0'};
-constexpr std::uint32_t kFormatVersion = 1;
+/** v2: appended the StatTable section (core.branch_profile etc.) after
+ *  the histograms. v1 readers reject v2 entries by version (and vice
+ *  versa) and fall back to a fresh simulation; entryPath() embeds the
+ *  version so a mixed-version cache directory simply never collides. */
+constexpr std::uint32_t kFormatVersion = 2;
 
 // ---- little-endian primitive writers/readers --------------------------
 
@@ -163,6 +167,19 @@ encodeRunOutcome(const RunKey &key, const RunOutcome &out)
         for (std::uint64_t b : kv.second.buckets)
             putU64(payload, b);
     }
+    putU64(payload, out.tables.size());
+    for (const auto &kv : out.tables) {
+        putStr(payload, kv.first);
+        putU64(payload, kv.second.columns.size());
+        for (const std::string &c : kv.second.columns)
+            putStr(payload, c);
+        putU64(payload, kv.second.rows.size());
+        for (const auto &row : kv.second.rows) {
+            putU64(payload, row.first);
+            for (std::uint64_t v : row.second)
+                putU64(payload, v);
+        }
+    }
 
     std::string file(kMagic, sizeof(kMagic));
     putU32(file, kFormatVersion);
@@ -230,6 +247,32 @@ decodeRunOutcome(const std::string &bytes, const RunKey &key,
         if (r.ok())
             tmp.hists.emplace(std::move(name), std::move(snap));
     }
+    std::uint64_t ntables = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < ntables; ++i) {
+        std::string name = r.str();
+        TableSnapshot snap;
+        std::uint64_t ncols = r.u64();
+        // A column costs at least 8 payload bytes (its name length).
+        if (!r.ok() || ncols == 0 || ncols > payloadLen / 8)
+            return false;
+        snap.columns.reserve(ncols);
+        for (std::uint64_t c = 0; r.ok() && c < ncols; ++c)
+            snap.columns.push_back(r.str());
+        std::uint64_t nrows = r.u64();
+        if (!r.ok() || nrows > payloadLen / (8 * ncols))
+            return false;
+        for (std::uint64_t rw = 0; r.ok() && rw < nrows; ++rw) {
+            std::uint64_t rowKey = r.u64();
+            std::vector<std::uint64_t> vals;
+            vals.reserve(ncols);
+            for (std::uint64_t c = 0; r.ok() && c < ncols; ++c)
+                vals.push_back(r.u64());
+            if (r.ok())
+                snap.rows.emplace(rowKey, std::move(vals));
+        }
+        if (r.ok())
+            tmp.tables.emplace(std::move(name), std::move(snap));
+    }
     if (!r.ok() || r.pos() != kHeader + payloadLen)
         return false;
 
@@ -286,7 +329,7 @@ RunService::entryPath(const RunKey &key) const
     if (dir_.empty())
         return {};
     return dir_ + "/run-" + hexKey(key.prog) + "-" + hexKey(key.params) +
-           ".v1.bin";
+           ".v2.bin";
 }
 
 RunService &
@@ -313,7 +356,7 @@ RunService::run(const Program &prog, const SimParams &params)
             ++stats_.misses;
     }
     if (passThrough) // no key computation, no coalescing
-        return runProgramFresh(prog, params);
+        return captureRun(prog, params);
 
     const RunKey key{prog.fingerprint(), params.fingerprint()};
 
@@ -368,7 +411,7 @@ RunService::produce(const RunKey &key, const Program &prog,
     }
 
     auto out = std::make_shared<const RunOutcome>(
-        runProgramFresh(prog, params));
+        captureRun(prog, params));
     {
         std::lock_guard<std::mutex> lk(mutex_);
         ++stats_.misses;

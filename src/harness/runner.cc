@@ -5,18 +5,17 @@
 
 namespace wisc {
 
-namespace {
-
 RunOutcome
-capture(const Program &prog, const SimParams &params)
+captureRun(const Program &prog, const SimParams &params,
+           const std::vector<ProbeSink *> &sinks)
 {
     StatSet stats;
     RunOutcome out;
-    out.result = simulate(prog, params, stats);
+    out.result = simulate(prog, params, stats, sinks);
     for (const std::string &name : stats.counterNames())
         out.stats[name] = stats.get(name);
     for (const std::string &name : stats.histogramNames()) {
-        const Histogram &h = stats.requireHistogram(name);
+        const Histogram &h = stats.require<Histogram>(name);
         HistogramSnapshot snap;
         snap.count = h.count();
         snap.buckets.reserve(h.numBuckets());
@@ -24,38 +23,75 @@ capture(const Program &prog, const SimParams &params)
             snap.buckets.push_back(h.bucket(i));
         out.hists.emplace(name, std::move(snap));
     }
+    for (const std::string &name : stats.tableNames()) {
+        const StatTable &t = stats.require<StatTable>(name);
+        TableSnapshot snap;
+        snap.columns = t.columns();
+        snap.rows = t.rows();
+        out.tables.emplace(name, std::move(snap));
+    }
     return out;
 }
-
-} // namespace
 
 std::uint64_t
 RunOutcome::require(const std::string &name) const
 {
     auto it = stats.find(name);
-    if (it == stats.end())
+    if (it == stats.end()) {
+        if (hists.count(name))
+            wisc_fatal("run statistic '", name,
+                       "' is a histogram, not a counter");
+        if (tables.count(name))
+            wisc_fatal("run statistic '", name,
+                       "' is a table, not a counter");
         wisc_fatal("run produced no statistic '", name,
                    "' (misspelled name?)");
+    }
     return it->second;
 }
+
+RunOutcome
+run(const RunRequest &req)
+{
+    wisc_assert((req.program != nullptr) != (req.workload != nullptr),
+                "RunRequest needs exactly one program source");
+    Program built;
+    const Program *prog = req.program;
+    if (!prog) {
+        built = programFor(*req.workload, req.variant, req.input);
+        prog = &built;
+    }
+    if (req.cache == RunRequest::CachePolicy::Bypass || !req.sinks.empty())
+        return captureRun(*prog, req.params, req.sinks);
+    return RunService::global().run(*prog, req.params);
+}
+
+// Deprecated shims. Bodies route through run() so behavior cannot
+// drift; silence the self-referential deprecation warnings.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 RunOutcome
 runWorkload(const CompiledWorkload &w, BinaryVariant v, InputSet input,
             const SimParams &params)
 {
-    return runProgram(programFor(w, v, input), params);
+    return run(RunRequest{w, v, input, params});
 }
 
 RunOutcome
 runProgram(const Program &prog, const SimParams &params)
 {
-    return RunService::global().run(prog, params);
+    return run(RunRequest{prog, params});
 }
 
 RunOutcome
 runProgramFresh(const Program &prog, const SimParams &params)
 {
-    return capture(prog, params);
+    RunRequest req{prog, params};
+    req.cache = RunRequest::CachePolicy::Bypass;
+    return run(req);
 }
+
+#pragma GCC diagnostic pop
 
 } // namespace wisc

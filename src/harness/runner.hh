@@ -1,10 +1,18 @@
 /**
  * @file
- * Experiment runner: executes a compiled workload variant on the timing
- * core and captures both the headline result and a snapshot of every
- * statistic — counters *and* histograms — so experiment binaries can
- * post-process freely (and the JSON emitter can serialize complete
- * runs).
+ * Experiment runner: executes a compiled workload variant (or a raw
+ * Program) on the timing core and captures both the headline result and
+ * a snapshot of every statistic — counters, histograms, *and* tables —
+ * so experiment binaries can post-process freely (and the JSON emitter
+ * can serialize complete runs).
+ *
+ * The single entry point is run(RunRequest): the request names the
+ * program (directly or as workload+variant+input), the machine
+ * configuration, the cache policy, and any probe sinks to attach.
+ * Cacheable requests are served through the global RunService, so
+ * identical requests dedup/replay when the run cache is enabled;
+ * requests carrying sinks always simulate (a replay could not feed
+ * the observers).
  */
 
 #ifndef WISC_HARNESS_RUNNER_HH_
@@ -27,12 +35,20 @@ struct HistogramSnapshot
     std::uint64_t count = 0;
 };
 
+/** Value snapshot of one StatTable: the column names plus every row. */
+struct TableSnapshot
+{
+    std::vector<std::string> columns;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> rows;
+};
+
 /** Everything one simulation produced. */
 struct RunOutcome
 {
     SimResult result;
     std::map<std::string, std::uint64_t> stats;
     std::map<std::string, HistogramSnapshot> hists;
+    std::map<std::string, TableSnapshot> tables;
 
     /**
      * Counter value, tolerant of absent names. Use only for statistics
@@ -48,7 +64,8 @@ struct RunOutcome
     }
 
     /** Counter value; hard error (FatalError) if the run never
-     *  registered the name. */
+     *  registered the name (the error names the actual kind when the
+     *  name exists as a histogram or table). */
     std::uint64_t require(const std::string &name) const;
 
     /** Mispredicted conditional branches per 1000 retired µops. */
@@ -63,21 +80,70 @@ struct RunOutcome
     }
 };
 
-/** Run one (workload, variant, input, machine) combination. Served
- *  through the global RunService, so identical requests dedup/replay
- *  when the run cache is enabled (pass-through otherwise). */
+/**
+ * One simulation request: what to run, on which machine, how to cache
+ * it, and which observers ride along. Construct from a Program or from
+ * a workload triple; tweak fields before calling run().
+ */
+struct RunRequest
+{
+    enum class CachePolicy : std::uint8_t
+    {
+        Default, ///< serve through the global RunService
+        Bypass,  ///< always simulate; never consult or populate caches
+    };
+
+    /** Program source: exactly one of 'program' or 'workload' is set. */
+    const Program *program = nullptr;
+    const CompiledWorkload *workload = nullptr;
+    BinaryVariant variant = BinaryVariant::Normal;
+    InputSet input = InputSet::B;
+
+    SimParams params;
+    CachePolicy cache = CachePolicy::Default;
+
+    /** Probe sinks attached for the run (uarch/probe.hh). A request
+     *  with sinks always simulates fresh: replayed statistics could
+     *  not drive the observers. */
+    std::vector<ProbeSink *> sinks;
+
+    RunRequest(const Program &prog, SimParams p = SimParams{})
+        : program(&prog), params(p)
+    {
+    }
+
+    RunRequest(const CompiledWorkload &w, BinaryVariant v, InputSet in,
+               SimParams p = SimParams{})
+        : workload(&w), variant(v), input(in), params(p)
+    {
+    }
+};
+
+/** Execute one request (see RunRequest). */
+RunOutcome run(const RunRequest &req);
+
+/**
+ * The always-simulate primitive beneath run(): execute the program and
+ * snapshot every statistic, attaching the given sinks for the duration.
+ * This is the run cache's producer path and the reference its tests
+ * compare replayed outcomes against.
+ */
+RunOutcome captureRun(const Program &prog, const SimParams &params,
+                      const std::vector<ProbeSink *> &sinks = {});
+
+// --- deprecated shims (previous entry points; migrate to run()) -------
+
+[[deprecated("use run(RunRequest{w, v, input, params})")]]
 RunOutcome runWorkload(const CompiledWorkload &w, BinaryVariant v,
                        InputSet input,
                        const SimParams &params = SimParams{});
 
-/** Run an arbitrary program (used by component studies). Served through
- *  the global RunService like runWorkload(). */
+[[deprecated("use run(RunRequest{prog, params})")]]
 RunOutcome runProgram(const Program &prog,
                       const SimParams &params = SimParams{});
 
-/** Always simulate, never consult or populate the run cache. The
- *  cache's own producer path, and the reference the cache tests compare
- *  replayed outcomes against. */
+[[deprecated("use run() with RunRequest::CachePolicy::Bypass, or "
+             "captureRun()")]]
 RunOutcome runProgramFresh(const Program &prog,
                            const SimParams &params = SimParams{});
 

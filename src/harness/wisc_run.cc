@@ -55,6 +55,10 @@ usage()
         "\n"
         "output options:\n"
         "  --stats         dump every statistic\n"
+        "  --cpi-stack     collect the attrib.* cycle-attribution "
+        "counters\n"
+        "  --branch-profile\n"
+        "                  collect the per-static-branch profile table\n"
         "  --pipeview N    render a pipeline diagram of the first N uops\n";
     return 2;
 }
@@ -136,6 +140,10 @@ main(int argc, char **argv)
                 params.oracle.noFetch = true;
             } else if (a == "--stats") {
                 dumpStats = true;
+            } else if (a == "--cpi-stack") {
+                params.collectAttribution = true;
+            } else if (a == "--branch-profile") {
+                params.collectBranchProfile = true;
             } else if (a == "--pipeview") {
                 pipeview = std::stoul(next(i));
             } else if (a == "--listing") {
@@ -184,7 +192,7 @@ main(int argc, char **argv)
         PipeTracer tracer(pipeview ? pipeview * 4 : 4096);
         Core core(params, stats);
         if (pipeview)
-            core.setTracer(&tracer);
+            core.addSink(&tracer);
         SimResult r = core.run(prog);
         if (pipeview)
             tracer.render(std::cout, 0, pipeview);

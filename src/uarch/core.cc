@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "arch/emulator.hh"
 #include "common/log.hh"
+#include "uarch/attribution.hh"
 
 namespace wisc {
 
@@ -67,6 +69,115 @@ Core::Core(const SimParams &params, StatSet &stats)
                                     "µops delivered per fetching cycle");
     hFlushSquash_ = &stats.histogram("core.flush_squash", 64,
                                      "µops squashed per pipeline flush");
+}
+
+// ---------------------------------------------------------------------
+// Probe emission
+// ---------------------------------------------------------------------
+
+void
+Core::addSink(ProbeSink *s)
+{
+    wisc_assert(s != nullptr, "addSink(nullptr)");
+    wisc_assert(nsinks_ < kMaxSinks, "too many probe sinks attached");
+    sinks_[nsinks_++] = s;
+}
+
+void
+Core::emitFetch(const DynInst &di, Cycle c)
+{
+    FetchProbe p{di.uid, di.pc, di.inst, c};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onFetch(p);
+}
+
+void
+Core::emitRename(const DynInst &di)
+{
+    StageProbe p{di.uid, now_};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onRename(p);
+}
+
+void
+Core::emitIssue(const DynInst &di)
+{
+    StageProbe p{di.uid, now_};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onIssue(p);
+}
+
+void
+Core::emitComplete(const DynInst &di, Cycle c)
+{
+    StageProbe p{di.uid, c};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onComplete(p);
+}
+
+void
+Core::emitRetire(const DynInst &di)
+{
+    const Instruction &si = *di.inst;
+    RetireProbe p;
+    p.uid = di.uid;
+    p.seq = di.seq;
+    p.pc = di.pc;
+    p.cycle = now_;
+    p.predFalse = !di.step.qpTrue;
+    p.isCondBr = si.op == Opcode::Br;
+    p.mispredicted = di.mispredicted;
+    p.confValid =
+        p.isCondBr && params_.wishEnabled && si.wish != WishKind::None;
+    p.highConf = di.highConf;
+    p.wishKind = si.wish;
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onRetire(p);
+}
+
+void
+Core::emitSquash(const DynInst &di)
+{
+    SquashProbe p{di.uid};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onSquash(p);
+}
+
+void
+Core::emitFlush(const DynInst &branch, FlushCause cause)
+{
+    FlushProbe p{branch.pc, branch.seq, now_, cause};
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onFlush(p);
+}
+
+void
+Core::emitCycle()
+{
+    CycleProbe p;
+    p.cycle = now_;
+    p.robEmpty = rob_.empty();
+    p.renameBlocked = renameBlocked_;
+    // The head facts are reported only when retirement actually
+    // stopped on the head this cycle (not when it exhausted its width
+    // or drained the ROB): only then is the head's stall reason what
+    // limited the cycle. Retirement runs first in the cycle, so the
+    // blocking µop is still rob_.front() here.
+    if (retireStalledOnHead_ && !rob_.empty()) {
+        const DynInst &h = rob_.front();
+        const bool isLoad =
+            h.isLoadOp() && !h.memSkipped && h.selectPart != 2;
+        // The head's producers have all completed (they are older and
+        // retirement is in order), so it is never *currently* waiting;
+        // report instead whether the last producer its issue waited on
+        // was a predication-induced dependence. Both facts can hold at
+        // once (a predicate-delayed load that then missed) —
+        // prioritizing is the sink's job.
+        p.headLoadMiss = isLoad && (h.l1Missed || !h.issued);
+        p.headPredWait = h.lastWaitPred;
+    }
+    for (unsigned i = 0; i < nsinks_; ++i)
+        sinks_[i]->onCycle(p);
 }
 
 // ---------------------------------------------------------------------
@@ -132,20 +243,24 @@ Core::computeDeps(DynInst &di)
     const bool noDep = params_.oracle.noDepend;
     const bool predPredicted = di.hasPredQp && si.qp != 0 && !di.isCondBr();
 
-    auto dep = [&](SeqNum s) {
+    // 'pred' marks a predication-induced dependence (qualifying
+    // predicate / old destination) in predDepMask for attribution.
+    auto dep = [&](SeqNum s, bool pred = false) {
         if (s != 0) {
             wisc_assert(di.numDeps < kMaxDeps,
                         "µop exceeds kMaxDeps producers");
+            if (pred)
+                di.predDepMask |= static_cast<std::uint8_t>(1u << di.numDeps);
             di.deps[di.numDeps++] = s;
         }
     };
-    auto depReg = [&](RegIdx r) {
+    auto depReg = [&](RegIdx r, bool pred = false) {
         if (r != kRegZero)
-            dep(regProducer_[r]);
+            dep(regProducer_[r], pred);
     };
-    auto depPred = [&](PredIdx p) {
+    auto depPred = [&](PredIdx p, bool pred = false) {
         if (p != 0)
-            dep(predProducer_[p]);
+            dep(predProducer_[p], pred);
     };
 
     const bool writesReg = di.writesReg();
@@ -155,8 +270,8 @@ Core::computeDeps(DynInst &di)
         // Select half: depends on the compute half (previous seq), the
         // old destination, and the predicate.
         dep(di.seq - 1);
-        depReg(si.rd);
-        depPred(si.qp);
+        depReg(si.rd, true);
+        depPred(si.qp, true);
         claimProducers(di);
         return;
     }
@@ -207,10 +322,10 @@ Core::computeDeps(DynInst &di)
             // Predicted FALSE: a register move of the old destination
             // (or an old-value pass-through for predicate writes).
             if (writesReg)
-                depReg(si.rd);
+                depReg(si.rd, true);
             if (writesPred && !si.unc) {
-                depPred(si.pd);
-                depPred(si.pd2);
+                depPred(si.pd, true);
+                depPred(si.pd2, true);
             }
         }
         claimProducers(di);
@@ -224,13 +339,13 @@ Core::computeDeps(DynInst &di)
     if (di.readsRs2())
         depReg(si.rs2);
     if (di.selectPart == 0)
-        depPred(si.qp);
+        depPred(si.qp, true);
     if (si.qp != 0 && di.selectPart == 0) {
         if (writesReg)
-            depReg(si.rd); // old destination value
+            depReg(si.rd, true); // old destination value
         if (writesPred && !si.unc) {
-            depPred(si.pd);
-            depPred(si.pd2);
+            depPred(si.pd, true);
+            depPred(si.pd2, true);
         }
     }
     if (si.op == Opcode::PNot || si.op == Opcode::PAnd ||
@@ -326,6 +441,26 @@ Core::wakeConsumers(DynInst &producer)
         c->waitingOn = 0;
         c->chainPrev = 0;
         c->chainNext = 0;
+        // Predication-delay taint for attribution, stamped here — at
+        // the producer's completion — because only then is the
+        // producer's own taint final (it has issued). A consumer is
+        // pred-delayed when the resolved edge itself is
+        // predication-induced, or transitively when the producer was
+        // (mcf's critical value load waits on an address register fed
+        // by a predicated chase load — the pred edge is one hop
+        // upstream). Re-linking under a later producer re-stamps, so
+        // the value at issue reflects the last wait resolved; a µop
+        // that never waits keeps false, which is how the taint dies
+        // with the serialization chain. Pure observation, so detached
+        // runs skip it.
+        if (nsinks_) {
+            bool edgePred = false;
+            for (unsigned i = 0; i < c->numDeps; ++i)
+                if (c->deps[i] == producer.seq &&
+                    ((c->predDepMask >> i) & 1u) != 0)
+                    edgePred = true;
+            c->lastWaitPred = edgePred || producer.lastWaitPred;
+        }
         scheduleOrReady(*c);
         s = next;
     }
@@ -454,8 +589,8 @@ Core::fetchOne(std::uint32_t idx)
         fetchHalted_ = true;
 
     ++*cFetched_;
-    if (tracer_)
-        tracer_->onFetch(di.uid, di.pc, *di.inst, now_);
+    if (nsinks_)
+        emitFetch(di, now_);
 }
 
 void
@@ -628,6 +763,7 @@ Core::stageFetch()
 void
 Core::stageRename()
 {
+    renameBlocked_ = false;
     unsigned renamed = 0;
     while (renamed < params_.decodeWidth && !fetchQueue_.empty()) {
         DynInst &front = fetchQueue_.front();
@@ -642,8 +778,10 @@ Core::stageRename()
         const unsigned need = expand ? 2 : 1;
 
         if (rob_.size() + need > params_.robSize ||
-            iqCount_ + need > params_.iqSize)
+            iqCount_ + need > params_.iqSize) {
+            renameBlocked_ = true;
             break;
+        }
 
         if (expand) {
             // Compute half: executes the operation unconditionally into
@@ -675,10 +813,10 @@ Core::stageRename()
             b.inIQ = true;
             ++iqCount_;
             scheduleOrReady(b);
-            if (tracer_) {
-                tracer_->onFetch(b.uid, b.pc, *b.inst, b.fetchCycle);
-                tracer_->onRename(a.uid, now_);
-                tracer_->onRename(b.uid, now_);
+            if (nsinks_) {
+                emitFetch(b, b.fetchCycle);
+                emitRename(a);
+                emitRename(b);
             }
             renamed += 2;
             continue;
@@ -691,8 +829,8 @@ Core::stageRename()
         computeDeps(di);
         di.inIQ = true;
         ++iqCount_;
-        if (tracer_)
-            tracer_->onRename(di.uid, now_);
+        if (nsinks_)
+            emitRename(di);
         if (di.isStoreOp() && !di.memSkipped) {
             storeSeqs_.push_back(di.seq);
             indexStore(di.seq, di.memAddr, di.memSize);
@@ -752,8 +890,10 @@ Core::tryIssueOne(DynInst &di, unsigned &memPorts)
     unsigned lat;
     if (isLoad) {
         lat = forwarded ? params_.latStoreForward : loadLatency(di);
-        if (!forwarded && lat > memsys_.l1dHitLatency())
+        if (!forwarded && lat > memsys_.l1dHitLatency()) {
             missHeap_.push(now_ + lat);
+            di.l1Missed = true;
+        }
         ++memPorts;
     } else if (isStore) {
         lat = params_.latAlu;
@@ -765,8 +905,8 @@ Core::tryIssueOne(DynInst &di, unsigned &memPorts)
     di.issued = true;
     di.completeCycle = now_ + lat;
     events_.push({di.completeCycle, di.seq, di.uid});
-    if (tracer_)
-        tracer_->onIssue(di.uid, now_);
+    if (nsinks_)
+        emitIssue(di);
     return true;
 }
 
@@ -850,8 +990,8 @@ Core::stageComplete()
         di->completeCycle = ev.cycle;
         di->inIQ = false;
         --iqCount_;
-        if (tracer_)
-            tracer_->onComplete(di->uid, ev.cycle);
+        if (nsinks_)
+            emitComplete(*di, ev.cycle);
 
         wakeConsumers(*di);
 
@@ -876,7 +1016,7 @@ Core::resolveBranch(DynInst &di)
         std::uint32_t actual = di.step.nextIndex;
         di.mispredicted = di.predictedTarget != actual;
         if (di.mispredicted)
-            flushAfter(di, actual, true);
+            flushAfter(di, actual, true, FlushCause::Normal);
         return;
     }
 
@@ -895,7 +1035,8 @@ Core::resolveBranch(DynInst &di)
     if (!isWish || di.fetchMode != FrontEndMode::LowConf) {
         // Normal branch, or a wish branch fetched in high-confidence
         // mode: flush, exactly like a conventional misprediction.
-        flushAfter(di, di.step.nextIndex, true);
+        flushAfter(di, di.step.nextIndex, true,
+                   isWish ? FlushCause::WishHighConf : FlushCause::Normal);
         return;
     }
 
@@ -910,7 +1051,7 @@ Core::resolveBranch(DynInst &di)
     if (actual) {
         // Predicted not-taken but the loop must iterate again.
         di.loopOutcome = LoopOutcome::EarlyExit;
-        flushAfter(di, di.step.nextIndex, true);
+        flushAfter(di, di.step.nextIndex, true, FlushCause::WishLoopEarly);
     } else if (wish_.loopInstance(di.pc) != di.loopInstance) {
         // The front end has exited this loop instance since the branch
         // was fetched: the over-fetched iterations drain as predicated
@@ -919,29 +1060,32 @@ Core::resolveBranch(DynInst &di)
     } else {
         // The front end is still fetching the loop body.
         di.loopOutcome = LoopOutcome::NoExit;
-        flushAfter(di, di.step.nextIndex, true);
+        flushAfter(di, di.step.nextIndex, true, FlushCause::WishLoopNoExit);
     }
 }
 
 void
 Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
-                 bool recoverBpred)
+                 bool recoverBpred, FlushCause cause)
 {
     ++*cFlushes_;
     std::size_t squashed = fetchQueue_.size();
 
+    if (nsinks_)
+        emitFlush(branch, cause);
+
     // Everything in the fetch queue is younger than anything renamed.
-    if (tracer_)
+    if (nsinks_)
         for (std::size_t i = 0; i < fetchQueue_.size(); ++i)
-            tracer_->onSquash(fetchQueue_[i].uid);
+            emitSquash(fetchQueue_[i]);
     fetchQueue_.clear();
 
     // Squash renamed µops younger than the branch, restoring the rename
     // producer chains newest-first and repairing the wakeup chains.
     while (!rob_.empty() && rob_.back().seq > branch.seq) {
         DynInst &di = rob_.back();
-        if (tracer_)
-            tracer_->onSquash(di.uid);
+        if (nsinks_)
+            emitSquash(di);
         unlinkWaiter(di);
         // All of this µop's waiters are younger and already unlinked.
         wisc_assert(di.wakeHead == 0,
@@ -1003,10 +1147,13 @@ void
 Core::stageRetire()
 {
     unsigned retired = 0;
+    retireStalledOnHead_ = false;
     while (retired < params_.retireWidth && !rob_.empty()) {
         DynInst &di = rob_.front();
-        if (!di.completed || di.completeCycle > now_)
+        if (!di.completed || di.completeCycle > now_) {
+            retireStalledOnHead_ = true;
             break;
+        }
 
         const Instruction &si = *di.inst;
 
@@ -1045,9 +1192,8 @@ Core::stageRetire()
         ++retiredUops_;
         ++*cRetired_;
 
-        if (tracer_)
-            tracer_->onRetire(di.uid, now_, !di.step.qpTrue,
-                              di.mispredicted);
+        if (nsinks_)
+            emitRetire(di);
 
         bool halt = di.step.halted;
         rob_.pop_front();
@@ -1161,6 +1307,17 @@ Core::run(const Program &prog)
     // 64 KB L1I, so a cold-start I-cache would only add noise.
     memsys_.warmText(kTextBase, codeSize_ * kInstBytes);
 
+    // The attribution engine rides the run as one more probe sink,
+    // attached only when the params opt in, so default runs register no
+    // attrib.* statistics and pay no per-event cost.
+    std::optional<AttributionEngine> attrib;
+    const unsigned externalSinks = nsinks_;
+    if (params_.collectAttribution || params_.collectBranchProfile) {
+        attrib.emplace(stats_, params_.collectAttribution,
+                       params_.collectBranchProfile);
+        addSink(&*attrib);
+    }
+
     const bool trace = getenv("WISC_TRACE") != nullptr;
     while (!haltRetired_ && now_ < params_.maxCycles &&
            retiredUops_ < params_.maxRetired) {
@@ -1175,8 +1332,15 @@ Core::run(const Program &prog)
             fprintf(stderr, "c%llu fq=%zu rob=%zu iq=%zu fpc=%u stall=%llu\n",
                     (unsigned long long)now_, fetchQueue_.size(), rob_.size(),
                     iqCount_, fetchPc_, (unsigned long long)fetchStallUntil_);
+        if (nsinks_)
+            emitCycle();
         ++now_;
         ++*cCycles_;
+    }
+
+    if (attrib) {
+        attrib->finish(now_);
+        nsinks_ = externalSinks;
     }
 
     SimResult res;
@@ -1203,6 +1367,16 @@ SimResult
 simulate(const Program &prog, const SimParams &params, StatSet &stats)
 {
     Core core(params, stats);
+    return core.run(prog);
+}
+
+SimResult
+simulate(const Program &prog, const SimParams &params, StatSet &stats,
+         const std::vector<ProbeSink *> &sinks)
+{
+    Core core(params, stats);
+    for (ProbeSink *s : sinks)
+        core.addSink(s);
     return core.run(prog);
 }
 

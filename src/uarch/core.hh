@@ -47,7 +47,7 @@
 #include "uarch/confidence.hh"
 #include "uarch/updown_conf.hh"
 #include "uarch/params.hh"
-#include "uarch/pipetrace.hh"
+#include "uarch/probe.hh"
 #include "uarch/wish.hh"
 
 namespace wisc {
@@ -113,6 +113,10 @@ struct DynInst
     // Dependence tracking: bounded inline producer list.
     std::uint8_t numDeps = 0;
     SeqNum deps[kMaxDeps] = {};
+    /** Bit i set iff deps[i] is predication-induced — the qualifying
+     *  predicate or the old destination value, exactly the dependences
+     *  the NO-DEPEND oracle removes. Feeds cycle attribution only. */
+    std::uint8_t predDepMask = 0;
 
     // Wakeup state. A waiting µop is linked into exactly one producer's
     // wait chain (the first still-outstanding producer); when that
@@ -121,6 +125,10 @@ struct DynInst
     // none) resolved through the dense ROB, and chains are repaired
     // eagerly on squash, so they never contain dead entries.
     SeqNum waitingOn = 0;  ///< producer this µop is linked under
+    /** The dependence this µop most recently waited under was
+     *  predication-induced, directly or transitively through the
+     *  producer it waited on (attribution head classification). */
+    bool lastWaitPred = false;
     SeqNum chainPrev = 0;  ///< older neighbor (0 = chain head)
     SeqNum chainNext = 0;  ///< next consumer in the same chain
     SeqNum wakeHead = 0;   ///< head of this µop's own consumer chain
@@ -138,6 +146,7 @@ struct DynInst
     bool inIQ = false;
     bool issued = false;
     bool completed = false;
+    bool l1Missed = false; ///< issued load missed in the L1D
     Cycle completeCycle = 0;
 
     // Memory.
@@ -184,9 +193,16 @@ class Core
      *  trace on stderr (debugging aid). */
     SimResult run(const Program &prog);
 
-    /** Attach a pipeline tracer (optional; may be null). The tracer
-     *  must outlive the run. */
-    void setTracer(PipeTracer *t) { tracer_ = t; }
+    /** Maximum simultaneously attached probe sinks. */
+    static constexpr unsigned kMaxSinks = 4;
+
+    /** Attach a probe sink (uarch/probe.hh); it must outlive the run.
+     *  With no sinks attached every emission site reduces to one
+     *  predictable untaken branch. */
+    void addSink(ProbeSink *s);
+
+    /** Detach every sink. */
+    void clearSinks() { nsinks_ = 0; }
 
   private:
     // Pipeline stages (called once per cycle, back to front).
@@ -202,7 +218,7 @@ class Core
     void processControl(DynInst &di);
     void resolveBranch(DynInst &di);
     void flushAfter(const DynInst &branch, std::uint32_t redirectPc,
-                    bool recoverBpred);
+                    bool recoverBpred, FlushCause cause);
     void computeDeps(DynInst &di);
     bool depsReady(const DynInst &di) const;
     DynInst *findInst(SeqNum seq);
@@ -295,7 +311,26 @@ class Core
     SeqNum regProducer_[kNumIntRegs] = {};
     SeqNum predProducer_[kNumPredRegs] = {};
 
-    PipeTracer *tracer_ = nullptr;
+    // Probe sinks (uarch/probe.hh). Emission sites are guarded by
+    // `nsinks_` so a sink-free run touches nothing but this counter.
+    ProbeSink *sinks_[kMaxSinks] = {};
+    unsigned nsinks_ = 0;
+
+    void emitFetch(const DynInst &di, Cycle c);
+    void emitRename(const DynInst &di);
+    void emitIssue(const DynInst &di);
+    void emitComplete(const DynInst &di, Cycle c);
+    void emitRetire(const DynInst &di);
+    void emitSquash(const DynInst &di);
+    void emitFlush(const DynInst &branch, FlushCause cause);
+    void emitCycle();
+
+    /** Rename stalled on ROB/IQ capacity this cycle (attribution). */
+    bool renameBlocked_ = false;
+    /** Retirement stopped on an incomplete head this cycle — as
+     *  opposed to exhausting its width or draining the ROB — so the
+     *  head's stall reason is what limited the cycle (attribution). */
+    bool retireStalledOnHead_ = false;
 
     Cycle now_ = 0;
     bool haltRetired_ = false;
@@ -333,6 +368,13 @@ class Core
 /** Convenience: simulate a program with the given configuration. */
 SimResult simulate(const Program &prog, const SimParams &params,
                    StatSet &stats);
+
+/** Simulate with external probe sinks attached for the duration of the
+ *  run (in addition to any sinks the params themselves imply, such as
+ *  the attribution engine). */
+SimResult simulate(const Program &prog, const SimParams &params,
+                   StatSet &stats,
+                   const std::vector<ProbeSink *> &sinks);
 
 } // namespace wisc
 

@@ -99,6 +99,8 @@ SimParams::fingerprint() const
     h.u64(maxCycles);
     h.u64(maxRetired);
     h.b(checkFinalState);
+    h.b(collectAttribution);
+    h.b(collectBranchProfile);
     h.b(pollScheduler);
 
     return h.digest();

@@ -157,6 +157,21 @@ struct SimParams
     bool checkFinalState = true;
 
     /**
+     * Observability: attach the cycle-attribution engine for this run.
+     * Emits the attrib.* CPI-stack counters (uarch/attribution.hh) that
+     * charge every cycle to one cause and sum exactly to core.cycles.
+     * Pure observation — core.* and wish.* statistics are bit-identical
+     * either way — but part of the fingerprint, because the set of
+     * emitted statistics (and hence the cached RunOutcome) differs.
+     */
+    bool collectAttribution = false;
+
+    /** Observability: collect the per-static-branch profile table
+     *  (core.branch_profile: per-PC dynamic count, mispredicts,
+     *  confidence outcomes, flush cycles charged). */
+    bool collectBranchProfile = false;
+
+    /**
      * Verification knob: select the O(window²) poll-based issue loop
      * (rescan every scheduler entry and re-evaluate every producer
      * dependence each cycle) instead of the event-driven wakeup

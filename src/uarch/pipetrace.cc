@@ -16,55 +16,53 @@ PipeTracer::find(std::uint64_t uid)
 }
 
 void
-PipeTracer::onFetch(std::uint64_t uid, std::uint32_t pc,
-                    const Instruction &si, Cycle c)
+PipeTracer::onFetch(const FetchProbe &p)
 {
     if (records_.size() >= capacity_)
         return; // keep the first 'capacity_' µops of the run
     PipeRecord r;
-    r.uid = uid;
-    r.pc = pc;
-    r.disasm = disassemble(si);
-    r.fetch = c;
+    r.uid = p.uid;
+    r.pc = p.pc;
+    r.disasm = disassemble(*p.inst);
+    r.fetch = p.cycle;
     records_.push_back(std::move(r));
 }
 
 void
-PipeTracer::onRename(std::uint64_t uid, Cycle c)
+PipeTracer::onRename(const StageProbe &p)
 {
-    if (PipeRecord *r = find(uid))
-        r->rename = c;
+    if (PipeRecord *r = find(p.uid))
+        r->rename = p.cycle;
 }
 
 void
-PipeTracer::onIssue(std::uint64_t uid, Cycle c)
+PipeTracer::onIssue(const StageProbe &p)
 {
-    if (PipeRecord *r = find(uid))
-        r->issue = c;
+    if (PipeRecord *r = find(p.uid))
+        r->issue = p.cycle;
 }
 
 void
-PipeTracer::onComplete(std::uint64_t uid, Cycle c)
+PipeTracer::onComplete(const StageProbe &p)
 {
-    if (PipeRecord *r = find(uid))
-        r->complete = c;
+    if (PipeRecord *r = find(p.uid))
+        r->complete = p.cycle;
 }
 
 void
-PipeTracer::onRetire(std::uint64_t uid, Cycle c, bool predFalse,
-                     bool mispredicted)
+PipeTracer::onRetire(const RetireProbe &p)
 {
-    if (PipeRecord *r = find(uid)) {
-        r->retire = c;
-        r->predFalse = predFalse;
-        r->mispredicted = mispredicted;
+    if (PipeRecord *r = find(p.uid)) {
+        r->retire = p.cycle;
+        r->predFalse = p.predFalse;
+        r->mispredicted = p.mispredicted;
     }
 }
 
 void
-PipeTracer::onSquash(std::uint64_t uid)
+PipeTracer::onSquash(const SquashProbe &p)
 {
-    if (PipeRecord *r = find(uid)) {
+    if (PipeRecord *r = find(p.uid)) {
         r->squashed = true;
         r->wrongPath = true;
     }
@@ -82,8 +80,9 @@ PipeTracer::render(std::ostream &os, std::size_t first,
     Cycle horizon = base;
     for (std::size_t i = first; i < last; ++i) {
         const PipeRecord &r = records_[i];
-        horizon = std::max({horizon, r.fetch, r.rename, r.issue,
-                            r.complete, r.retire});
+        for (Cycle c : {r.fetch, r.rename, r.issue, r.complete, r.retire})
+            if (c != kNoCycle)
+                horizon = std::max(horizon, c);
     }
     const unsigned width =
         static_cast<unsigned>(std::min<Cycle>(horizon - base + 1, 120));
@@ -94,9 +93,7 @@ PipeTracer::render(std::ostream &os, std::size_t first,
         const PipeRecord &r = records_[i];
         std::string lane(width, '.');
         auto put = [&](Cycle c, char ch) {
-            if (c == 0 && ch != 'F')
-                return;
-            if (c < base)
+            if (c == kNoCycle || c < base)
                 return;
             Cycle off = c - base;
             if (off < width)

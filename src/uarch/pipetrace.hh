@@ -4,8 +4,9 @@
  * issue, complete, retire or squash) and renders a text pipeline
  * diagram — the classic F-R-I-C-W view — for inspection and debugging.
  *
- * Attach a tracer to a Core via SimParams-independent setTracer(); the
- * wisc-run CLI exposes it as --pipeview N.
+ * PipeTracer is a ProbeSink (uarch/probe.hh): attach it to a Core via
+ * addSink(), or pass it through RunRequest::sinks. The wisc-run CLI
+ * exposes it as --pipeview N.
  */
 
 #ifndef WISC_UARCH_PIPETRACE_HH_
@@ -18,20 +19,25 @@
 
 #include "common/types.hh"
 #include "isa/isa.hh"
+#include "uarch/probe.hh"
 
 namespace wisc {
 
-/** Lifecycle timestamps of one dynamic µop. */
+/**
+ * Lifecycle timestamps of one dynamic µop. Stage fields hold kNoCycle
+ * until the stage happens — cycle 0 is a real timestamp (a µop fetched
+ * on the first simulated cycle), so absence is marked out-of-band.
+ */
 struct PipeRecord
 {
     std::uint64_t uid = 0;
     std::uint32_t pc = 0;
     std::string disasm;
-    Cycle fetch = 0;
-    Cycle rename = 0;   ///< 0 = never renamed
-    Cycle issue = 0;    ///< 0 = never issued
-    Cycle complete = 0; ///< 0 = never completed
-    Cycle retire = 0;   ///< 0 = never retired
+    Cycle fetch = kNoCycle;
+    Cycle rename = kNoCycle;   ///< kNoCycle = never renamed
+    Cycle issue = kNoCycle;    ///< kNoCycle = never issued
+    Cycle complete = kNoCycle; ///< kNoCycle = never completed
+    Cycle retire = kNoCycle;   ///< kNoCycle = never retired
     bool squashed = false;
     bool wrongPath = false; ///< squashed before retirement
     bool predFalse = false; ///< retired as a predicated NOP
@@ -42,7 +48,7 @@ struct PipeRecord
  * Collects the first 'capacity' µops of the run (later fetches are
  * ignored) and renders them as a timeline.
  */
-class PipeTracer
+class PipeTracer : public ProbeSink
 {
   public:
     explicit PipeTracer(std::size_t capacity = 4096)
@@ -50,15 +56,12 @@ class PipeTracer
     {
     }
 
-    /** Core hooks. */
-    void onFetch(std::uint64_t uid, std::uint32_t pc,
-                 const Instruction &si, Cycle c);
-    void onRename(std::uint64_t uid, Cycle c);
-    void onIssue(std::uint64_t uid, Cycle c);
-    void onComplete(std::uint64_t uid, Cycle c);
-    void onRetire(std::uint64_t uid, Cycle c, bool predFalse,
-                  bool mispredicted);
-    void onSquash(std::uint64_t uid);
+    void onFetch(const FetchProbe &p) override;
+    void onRename(const StageProbe &p) override;
+    void onIssue(const StageProbe &p) override;
+    void onComplete(const StageProbe &p) override;
+    void onRetire(const RetireProbe &p) override;
+    void onSquash(const SquashProbe &p) override;
 
     const std::vector<PipeRecord> &records() const { return records_; }
 

@@ -18,7 +18,7 @@ namespace {
 TEST(RunnerTest, CapturesStatsSnapshot)
 {
     CompiledWorkload w = compileWorkload("crafty");
-    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    RunOutcome r = run(RunRequest{w, BinaryVariant::Normal, InputSet::A});
     EXPECT_TRUE(r.result.halted);
     EXPECT_GT(r.stat("core.cycles"), 0u);
     EXPECT_GT(r.stat("core.retired_uops"), 0u);
@@ -29,7 +29,7 @@ TEST(RunnerTest, CapturesStatsSnapshot)
 TEST(RunnerTest, CapturesHistogramSnapshot)
 {
     CompiledWorkload w = compileWorkload("crafty");
-    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    RunOutcome r = run(RunRequest{w, BinaryVariant::Normal, InputSet::A});
     // The core always registers these histograms; losing them in
     // capture() was a real stat-export bug.
     ASSERT_TRUE(r.hists.count("core.fetch_width"));
@@ -51,7 +51,7 @@ TEST(RunnerTest, CapturesHistogramSnapshot)
 TEST(RunnerTest, RequirePanicsOnUnknownStat)
 {
     CompiledWorkload w = compileWorkload("crafty");
-    RunOutcome r = runWorkload(w, BinaryVariant::Normal, InputSet::A);
+    RunOutcome r = run(RunRequest{w, BinaryVariant::Normal, InputSet::A});
     EXPECT_EQ(r.require("core.cycles"), r.result.cycles);
     EXPECT_THROW(r.require("core.cycels"), FatalError);
     // stat() stays tolerant for registration-on-first-event names.
@@ -61,10 +61,10 @@ TEST(RunnerTest, RequirePanicsOnUnknownStat)
 TEST(RunnerTest, RunsAreReproducible)
 {
     CompiledWorkload w = compileWorkload("crafty");
-    RunOutcome a = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
-                               InputSet::A);
-    RunOutcome b = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
-                               InputSet::A);
+    RunOutcome a = run(
+        RunRequest{w, BinaryVariant::WishJumpJoinLoop, InputSet::A});
+    RunOutcome b = run(
+        RunRequest{w, BinaryVariant::WishJumpJoinLoop, InputSet::A});
     EXPECT_EQ(a.result.cycles, b.result.cycles);
     EXPECT_EQ(a.stat("core.flushes"), b.stat("core.flushes"));
 }

@@ -138,6 +138,29 @@ TEST(JsonWriterTest, RunOutcomeSchemaRoundTrips)
     ASSERT_EQ(h.at("buckets").size(), 4u);
     EXPECT_EQ(h.at("buckets").at(std::size_t(0)).asUint(), 5u);
     EXPECT_EQ(h.at("buckets").at(std::size_t(2)).asUint(), 3u);
+
+    // Table-free runs must not grow a "tables" key (document schema
+    // stays byte-compatible with pre-attribution emitters).
+    EXPECT_EQ(back.find("tables"), nullptr);
+}
+
+TEST(JsonWriterTest, RunOutcomeTablesSectionRoundTrips)
+{
+    RunOutcome r = makeOutcome(10);
+    TableSnapshot t;
+    t.columns = {"count", "mispred"};
+    t.rows[0x40] = {7, 2};
+    t.rows[0x80] = {3, 0};
+    r.tables["core.branch_profile"] = t;
+
+    json::Value back = json::Value::parse(toJson(r).dump());
+    const json::Value &bp = back.at("tables").at("core.branch_profile");
+    EXPECT_EQ(bp.at("columns").at(std::size_t(1)).asString(), "mispred");
+    ASSERT_EQ(bp.at("rows").size(), 2u);
+    const json::Value &row = bp.at("rows").at(std::size_t(0));
+    EXPECT_EQ(row.at("key").asUint(), 0x40u);
+    EXPECT_EQ(row.at("values").at(std::size_t(0)).asUint(), 7u);
+    EXPECT_EQ(row.at("values").at(std::size_t(1)).asUint(), 2u);
 }
 
 TEST(JsonWriterTest, NormalizedResultsSchemaRoundTrips)

@@ -135,8 +135,8 @@ TEST(ParallelExperimentTest, OversubscribedPoolIsRaceFree)
     std::atomic<std::uint64_t> totalCycles{0};
     pool.forEach(8, [&](std::size_t i) {
         CompiledWorkload w = compileWorkload(i % 2 ? "gap" : "crafty");
-        RunOutcome r = runWorkload(w, BinaryVariant::WishJumpJoinLoop,
-                                   InputSet::A);
+        RunOutcome r = run(
+            RunRequest{w, BinaryVariant::WishJumpJoinLoop, InputSet::A});
         EXPECT_TRUE(r.result.halted);
         totalCycles += r.result.cycles;
     });

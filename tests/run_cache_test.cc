@@ -83,6 +83,13 @@ expectOutcomesIdentical(const RunOutcome &a, const RunOutcome &b)
         EXPECT_EQ(kv.second.count, it->second.count) << kv.first;
         EXPECT_EQ(kv.second.buckets, it->second.buckets) << kv.first;
     }
+    ASSERT_EQ(a.tables.size(), b.tables.size());
+    for (const auto &kv : a.tables) {
+        auto it = b.tables.find(kv.first);
+        ASSERT_NE(it, b.tables.end()) << kv.first;
+        EXPECT_EQ(kv.second.columns, it->second.columns) << kv.first;
+        EXPECT_EQ(kv.second.rows, it->second.rows) << kv.first;
+    }
 }
 
 // ---- fingerprints -----------------------------------------------------
@@ -221,6 +228,10 @@ TEST(FingerprintTest, EverySimParamsFieldPerturbsTheHash)
         {"maxRetired", [](SimParams &p) { --p.maxRetired; }},
         {"checkFinalState",
          [](SimParams &p) { p.checkFinalState = !p.checkFinalState; }},
+        {"collectAttribution",
+         [](SimParams &p) { p.collectAttribution = true; }},
+        {"collectBranchProfile",
+         [](SimParams &p) { p.collectBranchProfile = true; }},
         {"pollScheduler",
          [](SimParams &p) { p.pollScheduler = !p.pollScheduler; }},
     };
@@ -277,7 +288,7 @@ TEST(RunServiceTest, MemoizedOutcomeMatchesFreshSimulation)
         CompiledWorkload w = compileWorkload(spec.workload);
         Program prog = programFor(w, spec.variant, spec.input);
         RunOutcome cached = svc.run(prog, spec.params);
-        RunOutcome fresh = runProgramFresh(prog, spec.params);
+        RunOutcome fresh = captureRun(prog, spec.params);
         expectOutcomesIdentical(cached, fresh);
     }
 }
@@ -287,7 +298,7 @@ TEST(RunServiceTest, MemoizedOutcomeMatchesFreshSimulation)
 TEST(RunCacheDiskTest, EncodeDecodeRoundTripsExactly)
 {
     Program prog = tinyProgram(3);
-    RunOutcome out = runProgramFresh(prog, SimParams{});
+    RunOutcome out = captureRun(prog, SimParams{});
     const RunKey key{prog.fingerprint(), SimParams{}.fingerprint()};
 
     std::string bytes = encodeRunOutcome(key, out);
@@ -303,6 +314,37 @@ TEST(RunCacheDiskTest, EncodeDecodeRoundTripsExactly)
     EXPECT_FALSE(
         decodeRunOutcome(bytes, RunKey{key.prog, key.params + 1},
                          scratch));
+}
+
+/** Runs that produce StatTables (attribution observability on) must
+ *  survive the v2 entry format: encode/decode round-trips the tables
+ *  exactly, and a second service replays them from disk. */
+TEST(RunCacheDiskTest, AttributionTablesRoundTripAndReplayFromDisk)
+{
+    TempDir dir;
+    CompiledWorkload w = compileWorkload("gzip");
+    Program prog = programFor(w, BinaryVariant::WishJumpJoinLoop,
+                              InputSet::A);
+    SimParams p;
+    p.collectAttribution = true;
+    p.collectBranchProfile = true;
+
+    RunService writer(dir.path());
+    RunOutcome fresh = writer.run(prog, p);
+    ASSERT_TRUE(fresh.stats.count("attrib.base"));
+    ASSERT_TRUE(fresh.tables.count("core.branch_profile"));
+    EXPECT_FALSE(fresh.tables.at("core.branch_profile").rows.empty());
+
+    const RunKey key{prog.fingerprint(), p.fingerprint()};
+    std::string bytes = encodeRunOutcome(key, fresh);
+    RunOutcome back;
+    ASSERT_TRUE(decodeRunOutcome(bytes, key, back));
+    expectOutcomesIdentical(fresh, back);
+
+    RunService reader(dir.path());
+    RunOutcome replayed = reader.run(prog, p);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    expectOutcomesIdentical(fresh, replayed);
 }
 
 TEST(RunCacheDiskTest, SecondServiceReplaysBitIdenticalOutcome)

@@ -50,9 +50,39 @@ TEST(StatsTest, RequireIsCheckedLookup)
 {
     StatSet s;
     s.counter("core.cycles") += 42;
-    EXPECT_EQ(s.require("core.cycles"), 42u);
+    EXPECT_EQ(s.require<Counter>("core.cycles").value(), 42u);
     // A misspelled name is a hard error, never a plausible zero.
-    EXPECT_THROW(s.require("core.cycels"), FatalError);
+    EXPECT_THROW(s.require<Counter>("core.cycels"), FatalError);
+}
+
+TEST(StatsTest, RequireNamesTheActualKindOnMismatch)
+{
+    StatSet s;
+    s.counter("c");
+    s.histogram("h", 4);
+    s.table("t", {"a", "b"});
+    // Reading a statistic with the wrong kind is a typed error that
+    // names what the statistic actually is.
+    EXPECT_THROW(s.require<Histogram>("c"), FatalError);
+    EXPECT_THROW(s.require<Counter>("h"), FatalError);
+    EXPECT_THROW(s.require<Counter>("t"), FatalError);
+    EXPECT_THROW(s.require<StatTable>("h"), FatalError);
+    try {
+        s.require<Counter>("h");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("histogram"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("counter"), std::string::npos) << msg;
+    }
+}
+
+TEST(StatsTest, CrossKindRegistrationIsRejected)
+{
+    StatSet s;
+    s.counter("x");
+    EXPECT_THROW(s.histogram("x", 4), FatalError);
+    EXPECT_THROW(s.table("x", {"a"}), FatalError);
 }
 
 TEST(StatsTest, ZeroBucketHistogramIsRejected)
@@ -72,11 +102,49 @@ TEST(StatsTest, RequireHistogramIsCheckedLookup)
 {
     StatSet s;
     s.histogram("h", 4).sample(2);
-    EXPECT_EQ(s.requireHistogram("h").count(), 1u);
-    EXPECT_THROW(s.requireHistogram("nope"), FatalError);
+    EXPECT_EQ(s.require<Histogram>("h").count(), 1u);
+    EXPECT_THROW(s.require<Histogram>("nope"), FatalError);
     auto names = s.histogramNames();
     ASSERT_EQ(names.size(), 1u);
     EXPECT_EQ(names[0], "h");
+}
+
+TEST(StatsTest, TableBasics)
+{
+    StatSet s;
+    StatTable &t = s.table("bp", {"count", "mispred"}, "per-PC profile");
+    t.row(0x40)[0] += 3;
+    t.row(0x40)[1] += 1;
+    t.row(0x80)[0] += 7;
+    EXPECT_EQ(t.numRows(), 2u);
+    ASSERT_EQ(t.columns().size(), 2u);
+    EXPECT_EQ(t.columns()[1], "mispred");
+    EXPECT_EQ(t.rows().at(0x40)[0], 3u);
+    EXPECT_EQ(t.rows().at(0x40)[1], 1u);
+    EXPECT_EQ(t.rows().at(0x80)[0], 7u);
+    EXPECT_EQ(t.rows().at(0x80)[1], 0u) << "rows start zero-filled";
+
+    // Registration is idempotent and stable, like counters.
+    EXPECT_EQ(&s.table("bp", {"count", "mispred"}), &t);
+    EXPECT_EQ(s.require<StatTable>("bp").numRows(), 2u);
+    auto names = s.tableNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "bp");
+}
+
+TEST(StatsTest, ZeroColumnTableIsRejected)
+{
+    StatSet s;
+    EXPECT_THROW(s.table("t", {}), FatalError);
+}
+
+TEST(StatsTest, TableResetsWithTheSet)
+{
+    StatSet s;
+    StatTable &t = s.table("t", {"v"});
+    t.row(1)[0] = 9;
+    s.resetAll();
+    EXPECT_EQ(s.require<StatTable>("t").numRows(), 0u);
 }
 
 TEST(StatsTest, HistogramBucketsAndOverflow)
