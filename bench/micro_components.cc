@@ -39,6 +39,8 @@ BM_EmulatorLoop(benchmark::State &state)
     Emulator emu;
     for (auto _ : state) {
         EmuResult r = emu.run(p);
+        wisc_assert(r.halted, "benchmark loop did not halt — the "
+                              "measured steps are the cap, not the run");
         benchmark::DoNotOptimize(r.resultReg);
     }
     state.SetItemsProcessed(state.iterations() * 40002);

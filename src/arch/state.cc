@@ -79,6 +79,16 @@ Memory::fingerprint() const
     return h;
 }
 
+std::vector<Addr>
+Memory::touchedPages() const
+{
+    std::vector<Addr> bases;
+    bases.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        bases.push_back(kv.first << kPageBits);
+    return bases;
+}
+
 void
 ArchState::reset()
 {

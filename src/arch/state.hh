@@ -44,6 +44,11 @@ class Memory
     /** Number of distinct pages ever written. */
     std::size_t numPages() const { return pages_.size(); }
 
+    /** Base addresses of every page ever written, ascending. Lets a
+     *  state-diff walk memory word-by-word (arch/state_diff.hh) without
+     *  exposing page internals; untouched addresses read as zero. */
+    std::vector<Addr> touchedPages() const;
+
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
 

@@ -44,13 +44,20 @@ class Rng
         return next() % bound;
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /** Uniform integer in [lo, hi] inclusive. The span is computed in
+     *  unsigned arithmetic so wide ranges (e.g. lo=INT64_MIN) are not
+     *  UB, and the full 64-bit span has a fast path instead of wrapping
+     *  the modulus bound to zero. */
     std::int64_t
     range(std::int64_t lo, std::int64_t hi)
     {
         wisc_assert(lo <= hi, "Rng::range lo > hi");
-        return lo + static_cast<std::int64_t>(
-            below(static_cast<std::uint64_t>(hi - lo) + 1));
+        std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo);
+        if (span == ~std::uint64_t{0})
+            return static_cast<std::int64_t>(next());
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                         below(span + 1));
     }
 
     /** True with the given probability (0.0 .. 1.0). */

@@ -1,6 +1,7 @@
 #include "compiler/driver.hh"
 
 #include "arch/emulator.hh"
+#include "arch/state_diff.hh"
 #include "common/log.hh"
 #include "compiler/simplify.hh"
 #include "compiler/wishloop.hh"
@@ -27,15 +28,21 @@ variantName(BinaryVariant v)
 }
 
 BranchStats
-profileFunction(const IrFunction &fn)
+profileFunction(const IrFunction &fn, std::uint64_t maxSteps)
 {
     std::map<std::uint32_t, BlockId> brOfInst;
     Program prog = fn.lower(&brOfInst);
 
     Emulator emu;
     Profile profile;
-    EmuResult res = emu.run(prog, &profile);
-    wisc_assert(res.halted, "profiling run did not terminate");
+    EmuResult res = emu.run(prog, &profile,
+                            maxSteps ? maxSteps
+                                     : Emulator::kDefaultMaxSteps);
+    // A truncated profile would silently miscompile (every taken-rate is
+    // garbage), so a non-halting program is a hard error, not a warning.
+    if (!res.halted)
+        wisc_fatal("profiling run did not terminate within ",
+                   res.dynInsts, " instructions (non-halting kernel?)");
 
     BranchStats stats;
     stats.takenProb.assign(fn.numBlocks(), 0.5);
@@ -168,7 +175,7 @@ compileVariant(const IrFunction &fn, BinaryVariant v,
 std::map<BinaryVariant, CompiledBinary>
 compileAllVariants(const IrFunction &fn, const CompileOptions &opts)
 {
-    BranchStats stats = profileFunction(fn);
+    BranchStats stats = profileFunction(fn, opts.profileMaxSteps);
     std::map<BinaryVariant, CompiledBinary> out;
     for (BinaryVariant v : kAllVariants)
         out.emplace(v, compileVariant(fn, v, stats, opts));
@@ -180,25 +187,45 @@ verifyVariantEquivalence(
     const std::map<BinaryVariant, CompiledBinary> &variants)
 {
     auto ref = variants.find(BinaryVariant::Normal);
-    wisc_assert(ref != variants.end(), "missing normal variant");
+    if (ref == variants.end()) {
+        std::string have;
+        for (const auto &kv : variants) {
+            if (!have.empty())
+                have += ", ";
+            have += variantName(kv.first);
+        }
+        wisc_fatal("verifyVariantEquivalence: the reference 'normal' "
+                   "variant is missing (have: ",
+                   have.empty() ? "none" : have, ")");
+    }
 
     Emulator refEmu;
     EmuResult refRes = refEmu.run(ref->second.program);
-    wisc_assert(refRes.halted, "normal variant did not halt");
+    if (!refRes.halted)
+        wisc_fatal("verifyVariantEquivalence: the normal reference "
+                   "variant did not halt within ",
+                   refRes.dynInsts, " instructions; refusing to compare "
+                   "against a truncated fingerprint");
 
     unsigned checked = 0;
     for (const auto &kv : variants) {
         Emulator emu;
         EmuResult res = emu.run(kv.second.program);
         if (!res.halted)
-            wisc_fatal(variantName(kv.first), " variant did not halt");
-        if (res.resultReg != refRes.resultReg)
             wisc_fatal(variantName(kv.first),
-                       " variant result mismatch: got ", res.resultReg,
-                       " want ", refRes.resultReg);
-        if (res.memFingerprint != refRes.memFingerprint)
+                       " variant did not halt within ", res.dynInsts,
+                       " instructions (normal variant halted after ",
+                       refRes.dynInsts, ")");
+        if (res.resultReg != refRes.resultReg ||
+            res.memFingerprint != refRes.memFingerprint) {
+            // Name the first differing state word so a divergence is
+            // triageable (the fuzzer's shrinker keys off this too).
+            StateDiff d = firstStateDiff(refEmu.state(), emu.state());
             wisc_fatal(variantName(kv.first),
-                       " variant memory fingerprint mismatch");
+                       " variant diverged from normal: ", d.describe(),
+                       " (result ", res.resultReg, " vs ",
+                       refRes.resultReg, ")");
+        }
         ++checked;
     }
     return checked;

@@ -64,6 +64,10 @@ struct CompileOptions
     double easyBranchThreshold = 0.02;
     IfConvertLimits limits;
     CostParams cost;
+    /** Step budget for the profiling run (0 = the emulator default).
+     *  The fuzzer lowers this so a non-halting random program is
+     *  rejected in milliseconds instead of after 400M steps. */
+    std::uint64_t profileMaxSteps = 0;
 };
 
 /** A compiled binary plus its static wish-branch statistics. */
@@ -86,8 +90,12 @@ struct CompiledBinary
 /**
  * Profile the function: lower the normal-branch variant, run it on the
  * functional emulator, and map branch statistics back onto IR blocks.
+ * Hard error (FatalError) if the program does not halt within maxSteps
+ * (0 = the emulator's default budget) — a truncated profile would
+ * silently miscompile.
  */
-BranchStats profileFunction(const IrFunction &fn);
+BranchStats profileFunction(const IrFunction &fn,
+                            std::uint64_t maxSteps = 0);
 
 /** Compile one variant. The source function is copied, not modified. */
 CompiledBinary compileVariant(const IrFunction &fn, BinaryVariant v,

@@ -103,6 +103,10 @@ class IrFunction
      *  stay above this). */
     void setMaxUserPred(PredIdx p);
 
+    /** Highest user predicate recorded so far (serialized by the IR
+     *  text round-trip so a reparsed function compiles identically). */
+    PredIdx maxUserPred() const { return maxUserPred_; }
+
     /** Structural sanity checks; fatal on violation. */
     void validate() const;
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Textual serialization of IrFunction — the reproducer format of the
+ * differential fuzzer (src/fuzz).
+ *
+ * A fuzzer-found divergence must survive as a self-contained artifact:
+ * the exact IR (block ids, instruction fields, terminators, data
+ * segments, entry, and the user-predicate high-water mark) written to
+ * disk and parsed back into a function that compiles bit-identically.
+ * irFromText(irToText(fn)) therefore lowers to a Program with the same
+ * fingerprint as fn.lower() — the round-trip property the fuzz tests
+ * pin.
+ *
+ * Format (line-based; ';' and '#' start comments, blank lines ignored):
+ *
+ *   wisc-ir 1
+ *   entry 0
+ *   maxuserpred 5
+ *   data 0x20000 3 -7 12
+ *   block 0 name "entry"
+ *     i add rd=1 rs1=2 rs2=3
+ *     i cmp.lt pd=1 pd2=2 rs1=3 rs2=4
+ *     term condbr cond=1 condc=2 taken=2 next=1
+ *   block 2
+ *     term halt
+ *
+ * Block ids are preserved exactly (the passes depend on layout order
+ * and region contiguity); ids absent from the text become dead blocks.
+ * Instruction fields at their default value are omitted on write.
+ */
+
+#ifndef WISC_COMPILER_IR_TEXT_HH_
+#define WISC_COMPILER_IR_TEXT_HH_
+
+#include <string>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** Serialize a function (live blocks only, ids preserved). */
+std::string irToText(const IrFunction &fn);
+
+/** Parse the textual form back; FatalError (with a line number) on any
+ *  syntax or structural problem. The result passes validate(). */
+IrFunction irFromText(const std::string &text);
+
+} // namespace wisc
+
+#endif // WISC_COMPILER_IR_TEXT_HH_

@@ -1,0 +1,321 @@
+#include "fuzz/generator.hh"
+
+#include <iterator>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace wisc {
+namespace {
+
+/**
+ * Register conventions of generated programs (disjoint pools, so a
+ * random scratch write can never corrupt a live loop counter):
+ *   r4        checksum (the architectural result register)
+ *   r5 / r6   data-segment / output-window base pointers
+ *   r8..r23   scratch pool
+ *   r24, r25  address temporaries for data-dependent accesses
+ *   r26..r29  loop counters, one per nesting level
+ *
+ * Predicates: hammock pairs (p1,p2), (p3,p4), (p5,p6) by depth;
+ * do-while continuation p7; while-loop (cont, exit) = (p8, p9). The
+ * compiler's fresh-guard pool (p15 downward) never reaches p9 within
+ * the GenConfig budgets.
+ */
+constexpr RegIdx kChk = 4;
+constexpr RegIdx kDataPtr = 5;
+constexpr RegIdx kOutPtr = 6;
+constexpr RegIdx kScratchLo = 8;
+constexpr unsigned kScratchCount = 16;
+constexpr RegIdx kAddrTmp = 24;
+constexpr RegIdx kCtrBase = 26;
+
+class Generator
+{
+  public:
+    Generator(std::uint64_t seed, const GenConfig &cfg)
+        : rng_(seed ? seed : 1), cfg_(cfg)
+    {
+    }
+
+    IrFunction
+    run()
+    {
+        b_.li(kDataPtr, static_cast<Word>(kFuzzDataBase));
+        b_.li(kOutPtr, static_cast<Word>(kFuzzOutBase));
+        b_.li(kChk, 0);
+
+        // Seed a few scratch registers with interesting constants:
+        // small signed values, powers of two, and full-width words.
+        for (unsigned i = 0; i < 6; ++i) {
+            Word v;
+            switch (rng_.below(3)) {
+              case 0:  v = rng_.range(-16, 16); break;
+              case 1:  v = Word{1} << rng_.below(63); break;
+              default: v = static_cast<Word>(rng_.next()); break;
+            }
+            b_.li(scratch(), v);
+        }
+
+        genBody(0, drawStmts());
+
+        // Fold every scratch register and counter into the checksum so
+        // a corrupted value anywhere is observable in r4.
+        for (unsigned i = 0; i < kScratchCount; ++i)
+            b_.add(kChk, kChk, static_cast<RegIdx>(kScratchLo + i));
+        for (unsigned i = 0; i < 4; ++i)
+            b_.xor_(kChk, kChk, static_cast<RegIdx>(kCtrBase + i));
+
+        b_.data(kFuzzDataBase, synthWords(cfg_.dataWords));
+        return b_.finish();
+    }
+
+  private:
+    unsigned
+    drawStmts()
+    {
+        return 1 + static_cast<unsigned>(
+                       rng_.below(2 * cfg_.stmtsPerBody));
+    }
+
+    RegIdx
+    scratch()
+    {
+        return static_cast<RegIdx>(kScratchLo + rng_.below(kScratchCount));
+    }
+
+    std::vector<Word>
+    synthWords(unsigned n)
+    {
+        std::vector<Word> w;
+        w.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            switch (rng_.below(4)) {
+              case 0:  w.push_back(rng_.range(-8, 8)); break;
+              case 1:  w.push_back(static_cast<Word>(rng_.below(256)));
+                       break;
+              default: w.push_back(static_cast<Word>(rng_.next())); break;
+            }
+        }
+        return w;
+    }
+
+    void
+    genBody(unsigned depth, unsigned stmts)
+    {
+        for (unsigned s = 0; s < stmts; ++s)
+            genStmt(depth);
+    }
+
+    void
+    genStmt(unsigned depth)
+    {
+        // Weighted statement kinds; structure only while budget and
+        // depth allow.
+        bool canIf = hammocks_ < cfg_.hammockBudget &&
+                     depth < cfg_.maxDepth;
+        bool canLoop = loops_ < cfg_.loopBudget &&
+                       loopDepth_ < cfg_.maxLoopDepth &&
+                       depth < cfg_.maxDepth;
+        unsigned roll = static_cast<unsigned>(rng_.below(100));
+        if (roll < 40)
+            genAlu();
+        else if (roll < 55)
+            genLoad();
+        else if (roll < 68)
+            genStore();
+        else if (roll < 76)
+            b_.add(kChk, kChk, scratch());
+        else if (roll < 90 && canIf)
+            genHammock(depth);
+        else if (canLoop)
+            genLoop(depth);
+        else
+            genAlu();
+    }
+
+    void
+    genAlu()
+    {
+        static const Opcode kOps3[] = {
+            Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+            Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::Sra,
+            Opcode::Mul, Opcode::Div, Opcode::Rem,
+        };
+        static const Opcode kOpsI[] = {
+            Opcode::AddI, Opcode::AndI, Opcode::OrI, Opcode::XorI,
+            Opcode::ShlI, Opcode::ShrI, Opcode::SraI, Opcode::MulI,
+        };
+        if (rng_.chance(0.55)) {
+            Opcode op = kOps3[rng_.below(std::size(kOps3))];
+            b_.op3(op, scratch(), scratch(), scratch());
+        } else {
+            Opcode op = kOpsI[rng_.below(std::size(kOpsI))];
+            Word imm = (op == Opcode::ShlI || op == Opcode::ShrI ||
+                        op == Opcode::SraI)
+                           ? static_cast<Word>(rng_.below(64))
+                           : rng_.range(-64, 64);
+            b_.opImm(op, scratch(), scratch(), imm);
+        }
+    }
+
+    void
+    genLoad()
+    {
+        if (rng_.chance(0.5)) {
+            // Static offset into the input segment.
+            b_.ld(scratch(), kDataPtr,
+                  8 * static_cast<Word>(rng_.below(cfg_.dataWords)));
+        } else {
+            // Data-dependent index, masked into the segment.
+            b_.andi(kAddrTmp, scratch(),
+                    static_cast<Word>(cfg_.dataWords - 1));
+            b_.shli(kAddrTmp, kAddrTmp, 3);
+            b_.add(kAddrTmp, kAddrTmp, kDataPtr);
+            if (rng_.chance(0.2))
+                b_.ld1(scratch(), kAddrTmp, 0);
+            else
+                b_.ld(scratch(), kAddrTmp, 0);
+        }
+    }
+
+    void
+    genStore()
+    {
+        RegIdx val = scratch();
+        if (rng_.chance(0.5)) {
+            b_.st(val, kOutPtr,
+                  8 * static_cast<Word>(rng_.below(cfg_.outWords)));
+        } else {
+            b_.andi(kAddrTmp, scratch(),
+                    static_cast<Word>(cfg_.outWords - 1));
+            b_.shli(kAddrTmp, kAddrTmp, 3);
+            b_.add(kAddrTmp, kAddrTmp,
+                   rng_.chance(0.25) ? kDataPtr : kOutPtr);
+            if (rng_.chance(0.2))
+                b_.st1(val, kAddrTmp, 0);
+            else
+                b_.st(val, kAddrTmp, 0);
+        }
+    }
+
+    void
+    genCompare(PredIdx pd, PredIdx pdC)
+    {
+        static const Opcode kCmp[] = {
+            Opcode::CmpEq, Opcode::CmpNe, Opcode::CmpLt, Opcode::CmpLe,
+            Opcode::CmpGt, Opcode::CmpGe, Opcode::CmpLtU, Opcode::CmpGeU,
+        };
+        static const Opcode kCmpI[] = {
+            Opcode::CmpEqI, Opcode::CmpNeI, Opcode::CmpLtI,
+            Opcode::CmpLeI, Opcode::CmpGtI, Opcode::CmpGeI,
+        };
+        if (rng_.chance(0.5))
+            b_.cmp(kCmp[rng_.below(std::size(kCmp))], pd, pdC, scratch(),
+                   scratch());
+        else
+            b_.cmpi(kCmpI[rng_.below(std::size(kCmpI))], pd, pdC,
+                    scratch(), rng_.range(-4, 4));
+    }
+
+    void
+    genHammock(unsigned depth)
+    {
+        ++hammocks_;
+        PredIdx p = static_cast<PredIdx>(1 + 2 * depth);
+        PredIdx pc = static_cast<PredIdx>(p + 1);
+        genCompare(p, pc);
+
+        auto arm = [&](bool allowEmpty) {
+            return [this, depth, allowEmpty] {
+                if (allowEmpty && rng_.chance(cfg_.emptyArmChance))
+                    return; // deliberately empty fall-through path
+                genBody(depth + 1, drawStmts());
+            };
+        };
+
+        if (rng_.chance(0.4))
+            b_.ifThen(p, pc, arm(true));
+        else
+            b_.ifThenElse(p, pc, arm(true), arm(true));
+    }
+
+    void
+    genLoop(unsigned depth)
+    {
+        ++loops_;
+        RegIdx ctr = static_cast<RegIdx>(kCtrBase + loopDepth_);
+        ++loopDepth_;
+
+        // Data-dependent trip count in [1, tripMask + 2].
+        b_.ld(ctr, kDataPtr,
+              8 * static_cast<Word>(rng_.below(cfg_.dataWords)));
+        b_.andi(ctr, ctr, static_cast<Word>(cfg_.tripMask));
+        b_.addi(ctr, ctr, 1);
+
+        unsigned pad = 0;
+        if (rng_.chance(cfg_.bigLoopBodyChance)) {
+            // Straddle the wish-loop body limit (L = 30 by default).
+            pad = 26 + static_cast<unsigned>(rng_.below(9));
+        }
+
+        if (rng_.chance(0.6)) {
+            // do-while: the body ends with the continuation compare.
+            b_.doWhileLoop(7, [&] {
+                genBody(depth + 1, 1 + rng_.below(3));
+                for (unsigned i = 0; i < pad; ++i)
+                    b_.addi(kChk, kChk, 1);
+                b_.addi(ctr, ctr, -1);
+                b_.cmpi(Opcode::CmpGtI, 7, 0, ctr, 0);
+            });
+        } else {
+            // while: the single-block header recomputes (exit, cont)
+            // every iteration.
+            b_.whileLoop(
+                [&] {
+                    b_.addi(ctr, ctr, -1);
+                    b_.cmpi(Opcode::CmpLtI, 9, 8, ctr, 0);
+                },
+                8, 9,
+                [&] {
+                    genBody(depth + 1, 1 + rng_.below(3));
+                    for (unsigned i = 0; i < pad; ++i)
+                        b_.addi(kChk, kChk, 1);
+                });
+        }
+        --loopDepth_;
+    }
+
+    Rng rng_;
+    GenConfig cfg_;
+    KernelBuilder b_;
+    unsigned hammocks_ = 0;
+    unsigned loops_ = 0;
+    unsigned loopDepth_ = 0;
+};
+
+} // namespace
+
+IrFunction
+generateProgram(std::uint64_t seed, const GenConfig &cfg)
+{
+    wisc_assert((cfg.dataWords & (cfg.dataWords - 1)) == 0 &&
+                    cfg.dataWords > 0,
+                "GenConfig::dataWords must be a power of two");
+    wisc_assert((cfg.outWords & (cfg.outWords - 1)) == 0 &&
+                    cfg.outWords > 0,
+                "GenConfig::outWords must be a power of two");
+    wisc_assert((cfg.tripMask & (cfg.tripMask + 1)) == 0,
+                "GenConfig::tripMask must be 2^k - 1");
+    wisc_assert(cfg.maxLoopDepth <= 4,
+                "only four loop counter registers are reserved");
+    // The deepest hammock is opened at depth maxDepth-1 and uses the
+    // pair (1 + 2*(maxDepth-1), 2 + 2*(maxDepth-1)).
+    wisc_assert(cfg.maxDepth >= 1 && 2 * cfg.maxDepth <= 6,
+                "hammock predicate pairs exceed the reserved p1..p6");
+    return Generator(seed, cfg).run();
+}
+
+} // namespace wisc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Seeded random IR generator for the differential fuzzer.
+ *
+ * Emits structured CFGs through KernelBuilder — the same front end the
+ * hand-written workloads use, so every generated program honors the
+ * conventions the if-conversion and wish-lowering passes rely on:
+ * hammocks (if-then), diamonds (if-then-else, possibly with empty
+ * arms), nested if-else chains, and short do-while / while loops with
+ * data-dependent trip counts, plus loads and stores into a synthesized
+ * data segment. All loops are counter-bounded, so every generated
+ * program terminates by construction.
+ *
+ * Determinism: generateProgram(seed, cfg) is a pure function — the same
+ * seed and config produce the same IR on every platform (Rng is the
+ * repo's xorshift64*, not std::mt19937).
+ */
+
+#ifndef WISC_FUZZ_GENERATOR_HH_
+#define WISC_FUZZ_GENERATOR_HH_
+
+#include <cstdint>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** Knobs bounding the shape of generated programs. */
+struct GenConfig
+{
+    /** Maximum nesting depth of structured constructs. */
+    unsigned maxDepth = 3;
+    /** Maximum loop nesting depth (counter registers are per-level). */
+    unsigned maxLoopDepth = 2;
+    /** Baseline statements per body (the generator draws in
+     *  [1, 2*stmtsPerBody]). */
+    unsigned stmtsPerBody = 5;
+    /** Total if-constructs per program. Bounded because every converted
+     *  region consumes fresh guard predicates from the finite p10..p15
+     *  pool; exhaustion is a (counted) compile reject, not a bug. */
+    unsigned hammockBudget = 4;
+    /** Total loops per program. */
+    unsigned loopBudget = 3;
+    /** Trip counts are data-dependent in [1, tripMask+2]; tripMask must
+     *  be 2^k - 1. */
+    unsigned tripMask = 7;
+    /** Words in the synthesized input segment (power of two). */
+    unsigned dataWords = 64;
+    /** Words in the writable output window (power of two). */
+    unsigned outWords = 64;
+    /**
+     * Probability that a loop body is padded to straddle the wish-loop
+     * body limit (the paper's L=30 boundary) — the padding count is
+     * drawn from [L-4, L+4] so both just-convertible and just-rejected
+     * bodies appear.
+     */
+    double bigLoopBodyChance = 0.15;
+    /** Probability that a hammock arm is left empty (exercises empty
+     *  fall-through paths in region discovery and wish lowering). */
+    double emptyArmChance = 0.15;
+};
+
+/** Base of the synthesized read-mostly input segment. */
+inline constexpr Addr kFuzzDataBase = 0x20000;
+/** Base of the store target window. */
+inline constexpr Addr kFuzzOutBase = 0x80000;
+
+/** Generate one structured random program. */
+IrFunction generateProgram(std::uint64_t seed,
+                           const GenConfig &cfg = GenConfig{});
+
+} // namespace wisc
+
+#endif // WISC_FUZZ_GENERATOR_HH_

@@ -1,0 +1,269 @@
+#include "fuzz/shrink.hh"
+
+#include <functional>
+
+#include "common/log.hh"
+
+namespace wisc {
+namespace {
+
+/** Mark every block unreachable from the entry dead (the entry always
+ *  survives). Lowering skips dead blocks, so this shrinks the binary
+ *  as well as the IR. */
+void
+killUnreachable(IrFunction &fn)
+{
+    std::vector<bool> seen(fn.numBlocks(), false);
+    std::vector<BlockId> work{fn.entry()};
+    seen[fn.entry()] = true;
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : fn.successors(b)) {
+            if (s != kNoBlock && s < fn.numBlocks() && !seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    for (BlockId b = 0; b < fn.numBlocks(); ++b)
+        if (!seen[b])
+            fn.block(b).dead = true;
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(const FailurePredicate &pred, unsigned budget)
+        : pred_(pred), budget_(budget)
+    {
+    }
+
+    IrFunction
+    run(const IrFunction &fn)
+    {
+        if (!check(fn))
+            wisc_fatal("shrinkIr: the input function does not fail the "
+                       "given predicate (or the check budget is 0)");
+
+        IrFunction cur = fn;
+        for (unsigned round = 0; round < kMaxRounds; ++round) {
+            ++st_.rounds;
+            bool any = false;
+            any |= passBypassBranches(cur);
+            any |= passEmptyBlocks(cur);
+            any |= passDeleteInsts(cur);
+            any |= passSimplifyOperands(cur);
+            any |= passDropData(cur);
+            if (!any || st_.checks >= budget_)
+                break;
+        }
+        return cur;
+    }
+
+    const ShrinkStats &stats() const { return st_; }
+
+  private:
+    static constexpr unsigned kMaxRounds = 8;
+
+    bool
+    check(const IrFunction &cand)
+    {
+        if (st_.checks >= budget_)
+            return false;
+        ++st_.checks;
+        try {
+            cand.validate();
+            return pred_(cand);
+        } catch (const FatalError &) {
+            // Candidate broke in a way the predicate does not claim —
+            // a different failure; reject the edit.
+            return false;
+        }
+    }
+
+    bool
+    tryEdit(IrFunction &fn, const std::function<void(IrFunction &)> &edit)
+    {
+        IrFunction cand = fn;
+        edit(cand);
+        if (!check(cand))
+            return false;
+        fn = std::move(cand);
+        ++st_.accepted;
+        return true;
+    }
+
+    /** ddmin-style chunked instruction deletion inside every block. */
+    bool
+    passDeleteInsts(IrFunction &fn)
+    {
+        bool any = false;
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (fn.block(b).dead)
+                continue;
+            std::size_t n = fn.block(b).insts.size();
+            for (std::size_t chunk = n ? n : 1; chunk >= 1; chunk /= 2) {
+                std::size_t start = 0;
+                while (start + chunk <= fn.block(b).insts.size()) {
+                    bool ok = tryEdit(fn, [&](IrFunction &c) {
+                        auto &v = c.block(b).insts;
+                        v.erase(v.begin() + static_cast<long>(start),
+                                v.begin() + static_cast<long>(start + chunk));
+                    });
+                    if (ok)
+                        any = true; // vector shrank; same start again
+                    else
+                        start += chunk;
+                }
+                if (chunk == 1)
+                    break;
+            }
+        }
+        return any;
+    }
+
+    /** Try emptying whole blocks (keeps the terminator / CFG shape). */
+    bool
+    passEmptyBlocks(IrFunction &fn)
+    {
+        bool any = false;
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (fn.block(b).dead || fn.block(b).insts.empty())
+                continue;
+            any |= tryEdit(fn, [&](IrFunction &c) {
+                c.block(b).insts.clear();
+            });
+        }
+        return any;
+    }
+
+    /** Rewrite conditional branches to one of their sides, then kill
+     *  whatever became unreachable — deletes whole subgraphs. */
+    bool
+    passBypassBranches(IrFunction &fn)
+    {
+        bool any = false;
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (fn.block(b).dead ||
+                fn.block(b).term.kind != TermKind::CondBr)
+                continue;
+            for (bool takeTaken : {true, false}) {
+                bool ok = tryEdit(fn, [&](IrFunction &c) {
+                    Terminator &t = c.block(b).term;
+                    BlockId tgt = takeTaken ? t.taken : t.next;
+                    t = Terminator{};
+                    t.kind = TermKind::Jump;
+                    t.taken = tgt;
+                    killUnreachable(c);
+                });
+                if (ok) {
+                    any = true;
+                    break;
+                }
+            }
+        }
+        return any;
+    }
+
+    /** Zero immediates, drop qualifying predicates, clear unc flags. */
+    bool
+    passSimplifyOperands(IrFunction &fn)
+    {
+        bool any = false;
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (fn.block(b).dead)
+                continue;
+            for (std::size_t i = 0; i < fn.block(b).insts.size(); ++i) {
+                // By value: an accepted tryEdit replaces 'fn' wholesale,
+                // so a reference into its instruction vector would
+                // dangle across iterations of the field edits below.
+                const Instruction inst = fn.block(b).insts[i];
+                if (inst.imm != 0) {
+                    any |= tryEdit(fn, [&](IrFunction &c) {
+                        c.block(b).insts[i].imm = 0;
+                    });
+                }
+                if (inst.qp != 0) {
+                    any |= tryEdit(fn, [&](IrFunction &c) {
+                        c.block(b).insts[i].qp = 0;
+                    });
+                }
+                if (inst.unc) {
+                    any |= tryEdit(fn, [&](IrFunction &c) {
+                        c.block(b).insts[i].unc = false;
+                    });
+                }
+            }
+        }
+        return any;
+    }
+
+    /** Drop data segments wholesale, then halve the survivors. */
+    bool
+    passDropData(IrFunction &fn)
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < fn.data().size(); ++i) {
+            any |= tryEdit(fn, [&](IrFunction &c) {
+                // IrFunction has no segment-removal API; rebuild.
+                std::vector<DataSegment> keep;
+                for (std::size_t j = 0; j < c.data().size(); ++j)
+                    if (j != i)
+                        keep.push_back(c.data()[j]);
+                IrFunction repl = rebuildWithData(c, keep);
+                c = std::move(repl);
+            });
+        }
+        for (std::size_t i = 0; i < fn.data().size(); ++i) {
+            if (fn.data()[i].words.size() < 2)
+                continue;
+            any |= tryEdit(fn, [&](IrFunction &c) {
+                std::vector<DataSegment> segs = c.data();
+                segs[i].words.resize(segs[i].words.size() / 2);
+                IrFunction repl = rebuildWithData(c, segs);
+                c = std::move(repl);
+            });
+        }
+        return any;
+    }
+
+    /** Copy 'src' with a different data-segment list. */
+    static IrFunction
+    rebuildWithData(const IrFunction &src,
+                    const std::vector<DataSegment> &segs)
+    {
+        IrFunction out = src;
+        // Blocks/entry/preds copy over; only data must be replaced, and
+        // addData is append-only, so rebuild from a block-only copy.
+        IrFunction fresh;
+        while (fresh.numBlocks() < out.numBlocks())
+            fresh.newBlock();
+        for (BlockId b = 0; b < out.numBlocks(); ++b)
+            fresh.block(b) = out.block(b);
+        fresh.setEntry(out.entry());
+        fresh.setMaxUserPred(out.maxUserPred());
+        for (const DataSegment &s : segs)
+            fresh.addData(s.base, s.words);
+        return fresh;
+    }
+
+    const FailurePredicate &pred_;
+    unsigned budget_;
+    ShrinkStats st_;
+};
+
+} // namespace
+
+IrFunction
+shrinkIr(const IrFunction &fn, const FailurePredicate &stillFails,
+         ShrinkStats *stats, unsigned checkBudget)
+{
+    Shrinker s(stillFails, checkBudget);
+    IrFunction out = s.run(fn);
+    if (stats)
+        *stats = s.stats();
+    return out;
+}
+
+} // namespace wisc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Automatic test-case reduction for fuzzer-found divergences.
+ *
+ * Given a failing IR function and a predicate that re-checks the
+ * failure, the shrinker greedily applies reduction passes — delete
+ * instruction chunks (ddmin-style halving), empty whole blocks, bypass
+ * conditional branches (rewriting them to one side and killing the
+ * unreachable subgraph), and simplify operands (zero immediates, drop
+ * qualifying predicates, drop data segments) — keeping an edit only if
+ * the reduced function still validates and still fails. Runs rounds to
+ * a fixpoint under a bounded check budget, so shrinking always
+ * terminates even when the predicate is expensive.
+ *
+ * The predicate must treat *any* error path it does not recognize as
+ * "not the same failure" (return false) — the shrinker itself catches
+ * FatalError thrown by validation or by the predicate and rejects the
+ * candidate.
+ */
+
+#ifndef WISC_FUZZ_SHRINK_HH_
+#define WISC_FUZZ_SHRINK_HH_
+
+#include <functional>
+
+#include "compiler/ir.hh"
+
+namespace wisc {
+
+/** Re-check callback: true iff the candidate still exhibits the
+ *  original failure. */
+using FailurePredicate = std::function<bool(const IrFunction &)>;
+
+/** Reduction telemetry. */
+struct ShrinkStats
+{
+    unsigned checks = 0;   ///< predicate evaluations spent
+    unsigned accepted = 0; ///< edits kept
+    unsigned rounds = 0;   ///< full pass sweeps
+};
+
+/**
+ * Reduce 'fn' while 'stillFails' holds. 'fn' itself must fail (asserted
+ * via one predicate call up front). Returns the smallest function
+ * found; stats (if non-null) reports the work done.
+ *
+ * @param checkBudget hard cap on predicate evaluations.
+ */
+IrFunction shrinkIr(const IrFunction &fn,
+                    const FailurePredicate &stillFails,
+                    ShrinkStats *stats = nullptr,
+                    unsigned checkBudget = 2000);
+
+} // namespace wisc
+
+#endif // WISC_FUZZ_SHRINK_HH_

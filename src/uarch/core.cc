@@ -1352,8 +1352,17 @@ Core::run(const Program &prog)
 
     if (params_.checkFinalState && res.halted) {
         Emulator ref;
-        EmuResult er = ref.run(prog);
-        wisc_assert(er.halted, "reference emulation did not halt");
+        // The reference must be allowed at least as many steps as the
+        // core retired, or a long-but-terminating run would trip the
+        // halt check on a truncated (meaningless) emulation instead of
+        // comparing real final states.
+        std::uint64_t steps = std::max<std::uint64_t>(
+            Emulator::kDefaultMaxSteps, res.retiredUops + 1);
+        EmuResult er = ref.run(prog, nullptr, steps);
+        wisc_assert(er.halted,
+                    "reference emulation did not halt within ", steps,
+                    " steps though the core retired Halt after ",
+                    res.retiredUops, " uops");
         wisc_assert(er.resultReg == res.resultReg,
                     "timing/functional result mismatch: ",
                     res.resultReg, " vs ", er.resultReg);

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Replays every minimized reproducer checked in under
+ * tests/fuzz_regressions/ (WISC_FUZZ_REGRESSION_DIR) through the full
+ * differential check. Each .ir file becomes its own named test case.
+ *
+ * Contract: a reproducer documents a program shape that once diverged
+ * (or is a representative stress shape); the current tree must check
+ * out clean on it — all five variants architecturally equivalent on the
+ * emulator and the core across the smoke matrix. A file whose name
+ * contains ".xfail." tracks a known-open divergence instead: it is
+ * expected to STILL fail, and starts passing only when the underlying
+ * bug is fixed (at which point the marker is removed).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hh"
+
+namespace wisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+reproducerFiles()
+{
+    std::vector<std::string> out;
+    const fs::path dir = WISC_FUZZ_REGRESSION_DIR;
+    if (!fs::exists(dir))
+        return out;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".ir")
+            out.push_back(e.path().string());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+class FuzzRegression : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FuzzRegression, Replays)
+{
+    std::ifstream in(GetParam());
+    ASSERT_TRUE(in) << "cannot open " << GetParam();
+    std::ostringstream body;
+    body << in.rdbuf();
+
+    FuzzOptions opts; // smoke matrix, core enabled
+    CheckOutcome c = replayReproducer(body.str(), opts);
+
+    const bool xfail =
+        GetParam().find(".xfail.") != std::string::npos;
+    if (xfail) {
+        EXPECT_FALSE(c.ok)
+            << GetParam()
+            << " is marked xfail but no longer reproduces — the bug is "
+               "fixed; drop the .xfail marker from the filename";
+    } else {
+        EXPECT_TRUE(c.ok) << GetParam() << " regressed: [" << c.kind
+                          << "] " << c.detail;
+    }
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string n = fs::path(info.param).stem().string();
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Checked, FuzzRegression,
+                         ::testing::ValuesIn(reproducerFiles()),
+                         caseName);
+
+/** Keeps the suite non-empty (and the directory contract visible) even
+ *  if every reproducer were ever removed. */
+TEST(FuzzRegressionDir, Exists)
+{
+    EXPECT_TRUE(fs::exists(WISC_FUZZ_REGRESSION_DIR));
+    EXPECT_FALSE(reproducerFiles().empty())
+        << "tests/fuzz_regressions/ should carry at least the seed "
+           "reproducers";
+}
+
+} // namespace
+} // namespace wisc
