@@ -25,6 +25,7 @@
  * a,b,c` selects experiments by name.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -58,6 +59,7 @@ const char *const kMatrix[] = {
     "ablation_estimators",
     "ablation_heuristics",
     "ablation_loop_bias",
+    "predictor_sweep",
 };
 
 /** Reduced schedule for CI: exercises the registry, the shared pool,
@@ -67,6 +69,7 @@ const char *const kSmoke[] = {
     "table3_binaries",
     "fig11_wish_jump_stats",
     "fig13_wish_loop_stats",
+    "predictor_sweep",
 };
 
 int
@@ -130,6 +133,11 @@ main(int argc, char **argv)
             passArgv.push_back(argv[i]);
         }
     }
+
+    // Experiments with an internal smoke reduction (predictor_sweep)
+    // key off this; flags do not flow through the registry interface.
+    if (smoke)
+        setenv("WISC_SMOKE", "1", 1);
 
     // The top-level CLI owns the consolidated document, the matrix-wide
     // timer, and the cache configuration (--json/--cache/--no-cache).

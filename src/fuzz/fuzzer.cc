@@ -61,6 +61,26 @@ defaultParamsMatrix(bool smoke)
         p.collectAttribution = true;
         m.push_back({"tiny-conf-shallow", p});
     }
+    {
+        // Small TAGE (with its free confidence estimator) so the zoo
+        // is covered even on the smoke matrix; tables are kept tiny to
+        // force aliasing, allocation churn and u-bit aging.
+        SimParams p = fuzzBase();
+        p.predictor = PredictorKind::Tage;
+        p.confKind = ConfKind::Tage;
+        p.tageTables = 4;
+        p.tageEntriesLog2 = 6;
+        p.tageBaseEntriesLog2 = 8;
+        p.tageMaxHist = 32;
+        p.tageResetPeriod = 4096;
+        m.push_back({"tage-small", p});
+    }
+    {
+        SimParams p = fuzzBase();
+        p.predictor = PredictorKind::Bimodal;
+        p.bimodalEntries = 256;
+        m.push_back({"bimodal", p});
+    }
     if (!smoke) {
         {
             SimParams p = fuzzBase();
@@ -73,6 +93,13 @@ defaultParamsMatrix(bool smoke)
             p.confKind = ConfKind::UpDown;
             p.collectAttribution = true;
             m.push_back({"updown-conf", p});
+        }
+        {
+            SimParams p = fuzzBase();
+            p.predictor = PredictorKind::TwoLevel;
+            p.twoLevelEntries = 1024;
+            p.twoLevelHistBits = 6;
+            m.push_back({"two-level", p});
         }
     }
     return m;

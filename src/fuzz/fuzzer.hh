@@ -46,9 +46,11 @@ struct ParamsPoint
  * dying on a core-internal assert) and bounds maxCycles so a timing
  * hang cannot stall the fuzzer.
  *
- * 'smoke' keeps three points (default+attribution, small window with
- * the poll scheduler, tiny confidence estimator); the full matrix adds
- * select-µop predication and an up/down-estimator point.
+ * 'smoke' keeps five points (default+attribution, small window with
+ * the poll scheduler, tiny confidence estimator, a small TAGE with its
+ * free confidence estimator, and a bimodal); the full matrix adds
+ * select-µop predication, an up/down-estimator point, and a standalone
+ * two-level predictor.
  */
 std::vector<ParamsPoint> defaultParamsMatrix(bool smoke);
 

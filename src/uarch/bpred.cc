@@ -63,13 +63,15 @@ HybridPredictor::selectorIndex(std::uint32_t pc) const
 }
 
 bool
-HybridPredictor::predict(std::uint32_t pc, BpredCheckpoint &ckpt) const
+HybridPredictor::predict(std::uint32_t pc, BpredCheckpoint &ckpt)
 {
-    ckpt.globalHistory = globalHistory_;
+    ckpt.globalHistory = hist_;
     ckpt.localHistory = pasHist_[pasHistIndex(pc)];
 
-    bool g = gshare_[gshareIndex(pc, globalHistory_)] >= 2;
+    bool g = gshare_[gshareIndex(pc, hist_)] >= 2;
     bool l = pasPattern_[pasPatternIndex(pc, ckpt.localHistory)] >= 2;
+    ckpt.gshareTaken = g;
+    ckpt.pasTaken = l;
     bool useGshare = selector_[selectorIndex(pc)] >= 2;
     return useGshare ? g : l;
 }
@@ -77,7 +79,7 @@ HybridPredictor::predict(std::uint32_t pc, BpredCheckpoint &ckpt) const
 void
 HybridPredictor::updateSpeculative(std::uint32_t pc, bool predTaken)
 {
-    globalHistory_ = (globalHistory_ << 1) | (predTaken ? 1 : 0);
+    BranchPredictorBase::updateSpeculative(pc, predTaken);
     std::uint16_t &lh = pasHist_[pasHistIndex(pc)];
     lh = static_cast<std::uint16_t>(
         ((lh << 1) | (predTaken ? 1 : 0)) & maskBits(params_.pasHistBits));
@@ -87,12 +89,16 @@ void
 HybridPredictor::train(std::uint32_t pc, bool taken,
                        const BpredCheckpoint &ckpt)
 {
-    // Train both components against the state they predicted with.
+    // Train both components against the state they predicted with. The
+    // selector is judged on the fetch-time predictions recorded in the
+    // checkpoint: retires of other branches aliasing the same counters
+    // have mutated them since, so (g >= 2) here is not in general the
+    // prediction gshare made for this branch.
     std::uint8_t &g = gshare_[gshareIndex(pc, ckpt.globalHistory)];
     std::uint8_t &l =
         pasPattern_[pasPatternIndex(pc, ckpt.localHistory)];
-    bool gCorrect = (g >= 2) == taken;
-    bool lCorrect = (l >= 2) == taken;
+    bool gCorrect = ckpt.gshareTaken == taken;
+    bool lCorrect = ckpt.pasTaken == taken;
 
     std::uint8_t &sel = selector_[selectorIndex(pc)];
     if (gCorrect && !lCorrect)
@@ -108,7 +114,7 @@ void
 HybridPredictor::recover(std::uint32_t pc, bool actualTaken,
                          const BpredCheckpoint &ckpt)
 {
-    globalHistory_ = (ckpt.globalHistory << 1) | (actualTaken ? 1 : 0);
+    BranchPredictorBase::recover(pc, actualTaken, ckpt);
     std::uint16_t &lh = pasHist_[pasHistIndex(pc)];
     lh = static_cast<std::uint16_t>(
         ((ckpt.localHistory << 1) | (actualTaken ? 1 : 0)) &
@@ -182,32 +188,54 @@ Btb::reset()
 }
 
 ReturnAddressStack::ReturnAddressStack(unsigned entries)
-    : stack_(entries, 0)
+    : stack_(entries, 0), tos_(entries - 1)
 {
+    wisc_assert(entries > 0, "RAS needs at least one entry");
 }
 
 void
 ReturnAddressStack::push(std::uint32_t returnPc)
 {
-    if (top_ < stack_.size()) {
-        stack_[top_++] = returnPc;
-    } else {
-        // Overflow: shift down (oldest entry lost).
-        for (std::size_t i = 1; i < stack_.size(); ++i)
-            stack_[i - 1] = stack_[i];
-        stack_.back() = returnPc;
-    }
+    // Circular: an overflowing push overwrites the oldest entry in
+    // place (O(1), and — unlike a shift — slot indices stay stable, so
+    // the checkpointed TOS index still names the right slot).
+    tos_ = tos_ + 1 < stack_.size() ? tos_ + 1 : 0;
+    stack_[tos_] = returnPc;
+    if (count_ < stack_.size())
+        ++count_;
 }
 
 std::uint32_t
 ReturnAddressStack::pop()
 {
-    if (top_ == 0)
+    if (count_ == 0)
         return 0;
-    return stack_[--top_];
+    std::uint32_t v = stack_[tos_];
+    tos_ = tos_ > 0 ? tos_ - 1 : static_cast<unsigned>(stack_.size()) - 1;
+    --count_;
+    return v;
 }
 
-IndirectTargetCache::IndirectTargetCache(unsigned entries, StatSet &stats)
+RasCheckpoint
+ReturnAddressStack::checkpoint() const
+{
+    return {tos_, count_, stack_[tos_]};
+}
+
+void
+ReturnAddressStack::restore(const RasCheckpoint &ckpt)
+{
+    tos_ = ckpt.tos;
+    count_ = ckpt.count;
+    // TOS-value repair: wrong-path pushes that wrapped the buffer may
+    // have overwritten the checkpointed top slot.
+    stack_[tos_] = ckpt.topValue;
+}
+
+IndirectTargetCache::IndirectTargetCache(unsigned entries,
+                                         unsigned histBits,
+                                         StatSet &stats)
+    : histMask_(maskBits(histBits))
 {
     wisc_assert(isPow2(entries), "indirect cache must be a power of two");
     targets_.assign(entries, 0);
@@ -217,7 +245,8 @@ IndirectTargetCache::IndirectTargetCache(unsigned entries, StatSet &stats)
 std::size_t
 IndirectTargetCache::index(std::uint32_t pc, std::uint64_t hist) const
 {
-    return (pc ^ (hist * 0x9e3779b1u)) & (targets_.size() - 1);
+    return (pc ^ ((hist & histMask_) * 0x9e3779b1u)) &
+           (targets_.size() - 1);
 }
 
 std::uint32_t

@@ -20,40 +20,32 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
+#include "uarch/bpred_iface.hh"
 #include "uarch/params.hh"
 
 namespace wisc {
 
-/** Snapshot of speculative predictor state taken at each branch fetch,
- *  used to repair the predictor on a pipeline flush. */
-struct BpredCheckpoint
-{
-    std::uint64_t globalHistory = 0;
-    std::uint16_t localHistory = 0; ///< prior PAs history of this branch
-};
-
 /** Direction predictor: gshare + PAs + selector. */
-class HybridPredictor
+class HybridPredictor final : public BranchPredictorBase
 {
   public:
     HybridPredictor(const SimParams &params, StatSet &stats);
 
     /** Predict the branch at 'pc' (instruction index). Also returns the
      *  checkpoint the caller must keep for recovery. */
-    bool predict(std::uint32_t pc, BpredCheckpoint &ckpt) const;
+    bool predict(std::uint32_t pc, BpredCheckpoint &ckpt) override;
 
     /** Speculatively shift the predicted direction into the histories. */
-    void updateSpeculative(std::uint32_t pc, bool predTaken);
+    void updateSpeculative(std::uint32_t pc, bool predTaken) override;
 
     /** Train counters with the true outcome (at retirement). */
-    void train(std::uint32_t pc, bool taken, const BpredCheckpoint &ckpt);
+    void train(std::uint32_t pc, bool taken,
+               const BpredCheckpoint &ckpt) override;
 
     /** Restore speculative history from a checkpoint after a flush; the
      *  resolved branch's true outcome is shifted in. */
     void recover(std::uint32_t pc, bool actualTaken,
-                 const BpredCheckpoint &ckpt);
-
-    std::uint64_t globalHistory() const { return globalHistory_; }
+                 const BpredCheckpoint &ckpt) override;
 
   private:
     std::size_t gshareIndex(std::uint32_t pc, std::uint64_t hist) const;
@@ -67,7 +59,6 @@ class HybridPredictor
     std::vector<std::uint16_t> pasHist_; ///< per-address history regs
     std::vector<std::uint8_t> pasPattern_;
     std::vector<std::uint8_t> selector_; ///< 2-bit: >=2 prefers gshare
-    std::uint64_t globalHistory_ = 0;
 };
 
 /** One BTB entry (with the §3.5.1 wish extension). */
@@ -103,7 +94,22 @@ class Btb
     Counter *misses_;
 };
 
-/** Return address stack with simple overwrite-on-overflow semantics. */
+/** Per-branch RAS repair state: top-of-stack pointer plus the value it
+ *  held at fetch (standard TOS-value repair). The value matters when a
+ *  flush spans an overflow: wrap-around pushes overwrite the slot the
+ *  checkpointed pointer still names, so restoring the index alone would
+ *  silently restore a younger wrong-path return target. */
+struct RasCheckpoint
+{
+    unsigned tos = 0;           ///< slot index of the top entry
+    unsigned count = 0;         ///< number of valid entries
+    std::uint32_t topValue = 0; ///< stack_[tos] at checkpoint time
+};
+
+/** Return address stack: circular buffer, overwrite-oldest on
+ *  overflow, checkpointed with TOS-value repair. Entries deeper than
+ *  the repaired top that were clobbered by a wrapping wrong-path push
+ *  stay clobbered — exactly the compromise hardware RAS repair makes. */
 class ReturnAddressStack
 {
   public:
@@ -112,20 +118,24 @@ class ReturnAddressStack
     void push(std::uint32_t returnPc);
     std::uint32_t pop(); ///< returns 0 when empty
 
-    /** Checkpoint/restore the top-of-stack pointer (cheap repair). */
-    unsigned top() const { return top_; }
-    void restore(unsigned top) { top_ = top; }
+    RasCheckpoint checkpoint() const;
+    void restore(const RasCheckpoint &ckpt);
 
   private:
     std::vector<std::uint32_t> stack_;
-    unsigned top_ = 0; ///< number of valid entries
+    unsigned tos_;       ///< slot of the top entry (valid if count_ > 0)
+    unsigned count_ = 0; ///< number of valid entries
 };
 
-/** Tagless indirect target cache indexed by pc ^ global history. */
+/** Tagless indirect target cache indexed by pc ^ (masked) global
+ *  history. The history register itself is an unbounded shift
+ *  register; the cache hashes only its low `histBits` bits, so the
+ *  index function is a pure function of fingerprinted state. */
 class IndirectTargetCache
 {
   public:
-    IndirectTargetCache(unsigned entries, StatSet &stats);
+    IndirectTargetCache(unsigned entries, unsigned histBits,
+                        StatSet &stats);
 
     std::uint32_t predict(std::uint32_t pc, std::uint64_t hist) const;
     void update(std::uint32_t pc, std::uint64_t hist,
@@ -134,6 +144,7 @@ class IndirectTargetCache
   private:
     std::size_t index(std::uint32_t pc, std::uint64_t hist) const;
     std::vector<std::uint32_t> targets_;
+    std::uint64_t histMask_;
 };
 
 } // namespace wisc

@@ -20,22 +20,24 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "uarch/bpred_iface.hh"
 #include "uarch/params.hh"
 
 namespace wisc {
 
-class JrsConfidenceEstimator
+class JrsConfidenceEstimator final : public IConfidence
 {
   public:
     JrsConfidenceEstimator(const SimParams &params, StatSet &stats);
 
     /** True = high confidence for the branch at 'pc' under 'hist'. */
-    bool estimate(std::uint32_t pc, std::uint64_t hist) const;
+    bool estimate(std::uint32_t pc, std::uint64_t hist) const override;
 
     /** Train with the prediction outcome (call at retirement). */
-    void update(std::uint32_t pc, std::uint64_t hist, bool correct);
+    void update(std::uint32_t pc, std::uint64_t hist,
+                bool correct) override;
 
-    void reset();
+    void reset() override;
 
   private:
     struct Entry

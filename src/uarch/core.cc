@@ -38,12 +38,11 @@ Core::Core(const SimParams &params, StatSet &stats)
     : params_(params),
       stats_(stats),
       memsys_(params, stats),
-      bpred_(params, stats),
+      bpred_(makeBranchPredictor(params, stats)),
       btb_(params, stats),
       ras_(params.rasEntries),
-      itc_(params.indirectEntries, stats),
-      conf_(params, stats),
-      udConf_(params, stats),
+      itc_(params.indirectEntries, params.indirectHistBits, stats),
+      conf_(makeConfidenceEstimator(params, stats, *bpred_)),
       wish_(stats, params.wishLoopBias)
 {
     // The fetch queue models the front-end pipe itself, so it must hold
@@ -187,18 +186,13 @@ Core::emitCycle()
 bool
 Core::estimateConfidence(std::uint32_t pc, std::uint64_t hist) const
 {
-    return params_.confKind == ConfKind::UpDown
-               ? udConf_.estimate(pc, hist)
-               : conf_.estimate(pc, hist);
+    return conf_->estimate(pc, hist);
 }
 
 void
 Core::updateConfidence(std::uint32_t pc, std::uint64_t hist, bool correct)
 {
-    if (params_.confKind == ConfKind::UpDown)
-        udConf_.update(pc, hist, correct);
-    else
-        conf_.update(pc, hist, correct);
+    conf_->update(pc, hist, correct);
 }
 
 DynInst *
@@ -602,7 +596,7 @@ Core::processControl(DynInst &di)
 
     switch (si.op) {
       case Opcode::Br: {
-        bool predictorTaken = bpred_.predict(idx, di.ckpt);
+        bool predictorTaken = bpred_->predict(idx, di.ckpt);
         bool effective;
 
         if (oracle.perfectCBP) {
@@ -632,7 +626,7 @@ Core::processControl(DynInst &di)
         di.predictedTarget = effective ? si.target : idx + 1;
         if (si.wish == WishKind::Loop)
             di.loopInstance = wish_.loopInstance(idx);
-        bpred_.updateSpeculative(idx, effective);
+        bpred_->updateSpeculative(idx, effective);
 
         // BTB: a predicted-taken branch that misses costs a small
         // redirect bubble (the target is unknown until decode).
@@ -668,7 +662,7 @@ Core::processControl(DynInst &di)
         break;
       }
       case Opcode::JmpR: {
-        di.ckpt.globalHistory = bpred_.globalHistory();
+        di.ckpt.globalHistory = bpred_->globalHistory();
         std::uint32_t tgt =
             itc_.predict(idx, di.ckpt.globalHistory);
         if (oracle.perfectCBP)
@@ -684,7 +678,7 @@ Core::processControl(DynInst &di)
         wisc_panic("processControl on non-control op");
     }
 
-    di.rasTop = ras_.top();
+    di.rasCkpt = ras_.checkpoint();
 }
 
 void
@@ -1130,8 +1124,8 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
     undo_.rollbackTo(branch.undoEnd, state_);
 
     if (recoverBpred && branch.inst->op == Opcode::Br)
-        bpred_.recover(branch.pc, branch.step.taken, branch.ckpt);
-    ras_.restore(branch.rasTop);
+        bpred_->recover(branch.pc, branch.step.taken, branch.ckpt);
+    ras_.restore(branch.rasCkpt);
     wish_.onFlush();
 
     fetchPc_ = redirectPc;
@@ -1159,7 +1153,7 @@ Core::stageRetire()
 
         if (si.op == Opcode::Br) {
             ++*cCondBranches_;
-            bpred_.train(di.pc, di.step.taken, di.ckpt);
+            bpred_->train(di.pc, di.step.taken, di.ckpt);
             if (di.mispredicted)
                 ++*cMispredicts_;
             if (params_.wishEnabled && si.wish != WishKind::None) {

@@ -33,6 +33,7 @@
 #define WISC_UARCH_CORE_HH_
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -43,9 +44,8 @@
 #include "common/stats.hh"
 #include "isa/program.hh"
 #include "uarch/bpred.hh"
+#include "uarch/bpred_iface.hh"
 #include "uarch/cache.hh"
-#include "uarch/confidence.hh"
-#include "uarch/updown_conf.hh"
 #include "uarch/params.hh"
 #include "uarch/probe.hh"
 #include "uarch/wish.hh"
@@ -98,7 +98,7 @@ struct DynInst
     bool highConf = false;
     FrontEndMode fetchMode = FrontEndMode::Normal;
     BpredCheckpoint ckpt;
-    unsigned rasTop = 0;
+    RasCheckpoint rasCkpt;
     LoopOutcome loopOutcome = LoopOutcome::NotApplicable;
     std::uint32_t loopInstance = 0; ///< wish-loop instance at fetch
     bool mispredicted = false; ///< raw prediction was wrong (stats)
@@ -246,14 +246,15 @@ class Core
     SimParams params_;
     StatSet &stats_;
 
-    // Substrates.
+    // Substrates. The direction predictor and confidence estimator are
+    // interface-typed and factory-constructed from params.predictor /
+    // params.confKind (uarch/bpred_iface.hh).
     MemorySystem memsys_;
-    HybridPredictor bpred_;
+    std::unique_ptr<IBranchPredictor> bpred_;
     Btb btb_;
     ReturnAddressStack ras_;
     IndirectTargetCache itc_;
-    JrsConfidenceEstimator conf_;
-    UpDownConfidenceEstimator udConf_;
+    std::unique_ptr<IConfidence> conf_;
     WishEngine wish_;
 
     bool estimateConfidence(std::uint32_t pc, std::uint64_t hist) const;

@@ -31,7 +31,7 @@ SimParams::fingerprint() const
     static_assert(sizeof(OracleKnobs) == 4,
                   "OracleKnobs changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
-    static_assert(sizeof(SimParams) == 232,
+    static_assert(sizeof(SimParams) == 288,
                   "SimParams changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
 
@@ -65,6 +65,20 @@ SimParams::fingerprint() const
     h.u32(btbWays);
     h.u32(rasEntries);
     h.u32(indirectEntries);
+    h.u32(indirectHistBits);
+
+    h.u8(static_cast<std::uint8_t>(predictor));
+    h.u32(bimodalEntries);
+    h.u32(twoLevelEntries);
+    h.u32(twoLevelHistBits);
+    h.u32(tageTables);
+    h.u32(tageEntriesLog2);
+    h.u32(tageTagBits);
+    h.u32(tageMinHist);
+    h.u32(tageMaxHist);
+    h.u32(tageBaseEntriesLog2);
+    h.u32(tageUsefulBits);
+    h.u32(tageResetPeriod);
 
     h.u32(confSets);
     h.u32(confWays);

@@ -30,6 +30,18 @@ enum class ConfKind : std::uint8_t
 {
     Jrs,    ///< Table 2's tagged miss-distance-counter estimator
     UpDown, ///< per-PC asymmetric up/down rate estimator (§7 extension)
+    Tage,   ///< TAGE provider strength/usefulness (requires a TAGE
+            ///< direction predictor; the estimate is free)
+};
+
+/** Which direction predictor drives the front end (IBranchPredictor
+ *  implementations, uarch/bpred_iface.hh). */
+enum class PredictorKind : std::uint8_t
+{
+    Hybrid,   ///< Table 2's gshare + PAs + selector (McFarling)
+    Bimodal,  ///< per-PC 2-bit saturating counters (Smith)
+    TwoLevel, ///< GAs: global history ++ PC bits -> shared pattern table
+    Tage,     ///< geometric-history tagged predictor (Seznec & Michaud)
 };
 
 /** How the rename stage handles predicated instructions (§2.1, §5.3.3). */
@@ -101,6 +113,33 @@ struct SimParams
     unsigned btbWays = 4;
     unsigned rasEntries = 64;
     unsigned indirectEntries = 4 * 1024;
+    /** History bits feeding the indirect target cache index. The raw
+     *  history register is unbounded (64-bit shift register); a real
+     *  target cache indexes with a fixed slice of it, and the width is
+     *  fingerprinted so fingerprint-equal machines hash identically. */
+    unsigned indirectHistBits = 16;
+
+    /** Direction-predictor selection (the zoo; Hybrid is Table 2). */
+    PredictorKind predictor = PredictorKind::Hybrid;
+
+    // Bimodal / standalone two-level zoo points.
+    unsigned bimodalEntries = 16 * 1024;
+    unsigned twoLevelEntries = 64 * 1024;  ///< pattern-table counters
+    unsigned twoLevelHistBits = 8;         ///< global history register
+
+    // TAGE (DESIGN.md: predictor zoo). A bimodal base table T0 plus
+    // `tageTables` tagged tables whose history lengths grow
+    // geometrically from tageMinHist to tageMaxHist (capped at 64: the
+    // history register checkpointed per branch is one 64-bit word).
+    unsigned tageTables = 5;
+    unsigned tageEntriesLog2 = 10; ///< entries per tagged table (log2)
+    unsigned tageTagBits = 9;
+    unsigned tageMinHist = 4;
+    unsigned tageMaxHist = 64;
+    unsigned tageBaseEntriesLog2 = 12;
+    unsigned tageUsefulBits = 2;
+    /** Usefulness counters are halved every this many trains (pow2). */
+    unsigned tageResetPeriod = 256 * 1024;
 
     // JRS confidence estimator (Table 2: 1 KB, tagged 4-way). The paper
     // quotes a 16-bit history; with a 512-entry table we found 16 bits

@@ -18,18 +18,20 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "uarch/bpred_iface.hh"
 #include "uarch/params.hh"
 
 namespace wisc {
 
-class UpDownConfidenceEstimator
+class UpDownConfidenceEstimator final : public IConfidence
 {
   public:
     UpDownConfidenceEstimator(const SimParams &params, StatSet &stats);
 
-    bool estimate(std::uint32_t pc, std::uint64_t hist) const;
-    void update(std::uint32_t pc, std::uint64_t hist, bool correct);
-    void reset();
+    bool estimate(std::uint32_t pc, std::uint64_t hist) const override;
+    void update(std::uint32_t pc, std::uint64_t hist,
+                bool correct) override;
+    void reset() override;
 
   private:
     std::size_t index(std::uint32_t pc, std::uint64_t hist) const;

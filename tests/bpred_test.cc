@@ -107,6 +107,50 @@ TEST(HybridPredictorTest, SelectorPicksBetterComponent)
     EXPECT_GT(static_cast<double>(correct) / total, 0.9);
 }
 
+TEST(HybridPredictorTest, SelectorTrainsOnFetchTimePredictions)
+{
+    // Regression: with two in-flight branches whose gshare entries
+    // alias, training the second branch retrains the shared counter
+    // before the first branch retires. The selector must be judged on
+    // the prediction gshare actually made at fetch, not on the
+    // counter's retirement-time value — the old code punished gshare
+    // for a prediction it never made.
+    StatSet stats;
+    HybridPredictor bp(smallParams(), stats);
+
+    BpredCheckpoint ckptA;
+    bool predA = bp.predict(4, ckptA); // gshare index 4 ^ hist 0
+    EXPECT_TRUE(predA) << "fresh counters are weakly taken";
+    EXPECT_TRUE(ckptA.gshareTaken);
+    bp.updateSpeculative(4, predA);
+
+    // Second in-flight branch: pc=5 under hist=1 hits gshare entry
+    // 5^1 == 4^0, the same counter branch A predicted with.
+    BpredCheckpoint ckptB;
+    bool predB = bp.predict(5, ckptB);
+    bp.updateSpeculative(5, predB);
+
+    // B retires (twice, for determinism) as not-taken, driving the
+    // shared gshare counter to strongly not-taken while A is still in
+    // flight.
+    bp.train(5, false, ckptB);
+    bp.train(5, false, ckptB);
+
+    // A retires taken. Both components predicted taken at fetch, so
+    // the selector must not move. The buggy selector re-read the
+    // clobbered counter, judged gshare wrong, and switched this PC to
+    // the PAs side.
+    bp.train(4, true, ckptA);
+
+    bp.recover(4, false, BpredCheckpoint{}); // histories back to 0
+    BpredCheckpoint probe;
+    // The shared gshare counter now says not-taken while PAs says
+    // taken; a selector still (correctly) on the gshare side predicts
+    // not-taken.
+    EXPECT_FALSE(bp.predict(4, probe))
+        << "selector was mistrained against retirement-time counters";
+}
+
 TEST(BtbTest, InsertLookup)
 {
     StatSet stats;
@@ -174,21 +218,73 @@ TEST(RasTest, CheckpointRestore)
 {
     ReturnAddressStack ras(8);
     ras.push(10);
-    unsigned top = ras.top();
+    RasCheckpoint ckpt = ras.checkpoint();
     ras.push(20);
     ras.push(30);
-    ras.restore(top);
+    ras.restore(ckpt);
+    EXPECT_EQ(ras.pop(), 10u);
+}
+
+TEST(RasTest, RestoreRepairsTopAcrossOverflow)
+{
+    // Regression: the old shift-down overflow moved every entry to a
+    // new slot but restore() only repaired the top-of-stack *index*,
+    // so a flush spanning an overflow popped a shifted wrong-path
+    // target. TOS-value repair must restore the checkpointed top even
+    // when wrong-path pushes wrapped the buffer over its slot.
+    ReturnAddressStack ras(4);
+    ras.push(10);
+    ras.push(20);
+    RasCheckpoint ckpt = ras.checkpoint();
+    // Wrong path: three pushes overflow the 4-entry stack, wrapping
+    // onto the slots holding 10 and 20.
+    ras.push(91);
+    ras.push(92);
+    ras.push(93);
+    ras.restore(ckpt);
+    EXPECT_EQ(ras.pop(), 20u) << "checkpointed top must survive a "
+                                 "wrong-path overflow";
+}
+
+TEST(RasTest, RestoreRepairsPopThenPushClobber)
+{
+    // A wrong-path pop followed by a push overwrites the checkpointed
+    // top slot in place; value repair covers this too.
+    ReturnAddressStack ras(4);
+    ras.push(10);
+    ras.push(20);
+    RasCheckpoint ckpt = ras.checkpoint();
+    ras.pop();
+    ras.push(99); // lands in 20's slot
+    ras.restore(ckpt);
+    EXPECT_EQ(ras.pop(), 20u);
     EXPECT_EQ(ras.pop(), 10u);
 }
 
 TEST(IndirectTargetCacheTest, LearnsPerHistoryTargets)
 {
     StatSet stats;
-    IndirectTargetCache itc(256, stats);
+    SimParams p;
+    IndirectTargetCache itc(256, p.indirectHistBits, stats);
     itc.update(50, 0xAA, 111);
     itc.update(50, 0x55, 222);
     EXPECT_EQ(itc.predict(50, 0xAA), 111u);
     EXPECT_EQ(itc.predict(50, 0x55), 222u);
+}
+
+TEST(IndirectTargetCacheTest, IndexMasksHistoryToConfiguredBits)
+{
+    // Regression: the index hashed the full unbounded 64-bit history,
+    // so two machines identical in every fingerprinted structure could
+    // diverge on history bits older than any architected table. Two
+    // histories equal in the low `histBits` must alias.
+    StatSet stats;
+    IndirectTargetCache itc(256, /*histBits=*/8, stats);
+    itc.update(50, 0xAB, 111);
+    EXPECT_EQ(itc.predict(50, 0xAB | (1ull << 8)), 111u)
+        << "bit 8 must be masked off at histBits=8";
+    EXPECT_EQ(itc.predict(50, 0xAB | (0xFFull << 32)), 111u)
+        << "high history bits must be masked off";
 }
 
 } // namespace

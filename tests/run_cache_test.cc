@@ -191,6 +191,26 @@ TEST(FingerprintTest, EverySimParamsFieldPerturbsTheHash)
         {"rasEntries", [](SimParams &p) { ++p.rasEntries; }},
         {"indirectEntries",
          [](SimParams &p) { p.indirectEntries *= 2; }},
+        {"indirectHistBits",
+         [](SimParams &p) { ++p.indirectHistBits; }},
+        {"predictor",
+         [](SimParams &p) { p.predictor = PredictorKind::Tage; }},
+        {"bimodalEntries",
+         [](SimParams &p) { p.bimodalEntries *= 2; }},
+        {"twoLevelEntries",
+         [](SimParams &p) { p.twoLevelEntries *= 2; }},
+        {"twoLevelHistBits",
+         [](SimParams &p) { ++p.twoLevelHistBits; }},
+        {"tageTables", [](SimParams &p) { ++p.tageTables; }},
+        {"tageEntriesLog2", [](SimParams &p) { ++p.tageEntriesLog2; }},
+        {"tageTagBits", [](SimParams &p) { ++p.tageTagBits; }},
+        {"tageMinHist", [](SimParams &p) { ++p.tageMinHist; }},
+        {"tageMaxHist", [](SimParams &p) { --p.tageMaxHist; }},
+        {"tageBaseEntriesLog2",
+         [](SimParams &p) { ++p.tageBaseEntriesLog2; }},
+        {"tageUsefulBits", [](SimParams &p) { ++p.tageUsefulBits; }},
+        {"tageResetPeriod",
+         [](SimParams &p) { p.tageResetPeriod *= 2; }},
         {"confSets", [](SimParams &p) { p.confSets *= 2; }},
         {"confWays", [](SimParams &p) { ++p.confWays; }},
         {"confHistBits", [](SimParams &p) { ++p.confHistBits; }},
