@@ -60,6 +60,7 @@ const char *const kMatrix[] = {
     "ablation_heuristics",
     "ablation_loop_bias",
     "predictor_sweep",
+    "sampling_validation",
 };
 
 /** Reduced schedule for CI: exercises the registry, the shared pool,
@@ -70,6 +71,7 @@ const char *const kSmoke[] = {
     "fig11_wish_jump_stats",
     "fig13_wish_loop_stats",
     "predictor_sweep",
+    "sampling_validation",
 };
 
 int

@@ -1,9 +1,35 @@
 #include "arch/emulator.hh"
 
 #include "arch/executor.hh"
+#include "arch/threaded.hh"
 #include "common/log.hh"
 
 namespace wisc {
+
+namespace {
+
+/** threadedRun() hooks that maintain the compiler's edge profile. */
+struct ProfileHooks
+{
+    Profile *profile;
+
+    void onInst(std::uint32_t pc, const Instruction &, bool qpTrue)
+    {
+        InstProfile &p = profile->perInst[pc];
+        ++p.execCount;
+        if (qpTrue)
+            ++p.qpTrueCount;
+    }
+    void onBranch(std::uint32_t pc, const Instruction &, bool taken)
+    {
+        if (taken)
+            ++profile->perInst[pc].takenCount;
+    }
+    void onCtrl(std::uint32_t, const Instruction &, std::uint32_t) {}
+    void onMem(Addr, unsigned, bool) {}
+};
+
+} // namespace
 
 double
 Profile::takenProb(std::uint32_t idx) const
@@ -23,7 +49,7 @@ Profile::mispredictEstimate(std::uint32_t idx) const
 
 EmuResult
 Emulator::run(const Program &prog, Profile *profile,
-              std::uint64_t maxSteps)
+              std::uint64_t maxSteps, EmuDispatch dispatch)
 {
     prog.validate();
 
@@ -38,6 +64,22 @@ Emulator::run(const Program &prog, Profile *profile,
     EmuResult res;
     std::uint32_t pc = prog.entry();
     const auto code_size = static_cast<std::uint32_t>(prog.size());
+
+    if (dispatch == EmuDispatch::Threaded) {
+        ThreadedResult tr =
+            profile ? threadedRun(prog, state_, pc, maxSteps,
+                                  ProfileHooks{profile})
+                    : threadedRun(prog, state_, pc, maxSteps,
+                                  NullExecHooks{});
+        res.dynInsts = tr.steps;
+        res.predFalse = tr.predFalse;
+        res.halted = tr.halted;
+        if (profile)
+            profile->dynInsts = res.dynInsts;
+        res.resultReg = state_.readReg(4);
+        res.memFingerprint = state_.mem().fingerprint();
+        return res;
+    }
 
     while (res.dynInsts < maxSteps) {
         wisc_assert(pc < code_size, "pc ", pc, " escaped the program");

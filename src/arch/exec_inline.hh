@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared architectural arithmetic, hoisted out of the switch executor
+ * so the threaded-code dispatch loop (arch/threaded.hh) and the
+ * reference executor (arch/executor.cc) compute every operation from
+ * the same definitions. Divergence between the two execution engines
+ * must only ever come from dispatch structure, never from semantics —
+ * the differential fuzzer enforces that, these helpers make it cheap.
+ */
+
+#ifndef WISC_ARCH_EXEC_INLINE_HH_
+#define WISC_ARCH_EXEC_INLINE_HH_
+
+#include <limits>
+
+#include "arch/state.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace wisc {
+
+/** Two's-complement wrapping arithmetic without signed-overflow UB. */
+inline Word
+wrapAdd(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) + static_cast<UWord>(b));
+}
+
+inline Word
+wrapSub(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) - static_cast<UWord>(b));
+}
+
+inline Word
+wrapMul(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<UWord>(a) * static_cast<UWord>(b));
+}
+
+/** Division: by-zero yields 0, overflow (MIN / -1) yields MIN. */
+inline Word
+safeDiv(Word a, Word b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<Word>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline Word
+safeRem(Word a, Word b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<Word>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Compare result write: pd gets the condition, pd2 its complement. */
+inline void
+execWriteCmp(ArchState &state, const Instruction &inst, bool cond)
+{
+    if (inst.pd != kPredNone)
+        state.writePred(inst.pd, cond);
+    if (inst.pd2 != kPredNone)
+        state.writePred(inst.pd2, !cond);
+}
+
+} // namespace wisc
+
+#endif // WISC_ARCH_EXEC_INLINE_HH_

@@ -1,54 +1,9 @@
 #include "arch/executor.hh"
 
-#include <limits>
-
+#include "arch/exec_inline.hh"
 #include "common/log.hh"
 
 namespace wisc {
-
-namespace {
-
-/** Two's-complement wrapping arithmetic without signed-overflow UB. */
-Word
-wrapAdd(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<UWord>(a) + static_cast<UWord>(b));
-}
-
-Word
-wrapSub(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<UWord>(a) - static_cast<UWord>(b));
-}
-
-Word
-wrapMul(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<UWord>(a) * static_cast<UWord>(b));
-}
-
-/** Division: by-zero yields 0, overflow (MIN / -1) yields MIN. */
-Word
-safeDiv(Word a, Word b)
-{
-    if (b == 0)
-        return 0;
-    if (a == std::numeric_limits<Word>::min() && b == -1)
-        return a;
-    return a / b;
-}
-
-Word
-safeRem(Word a, Word b)
-{
-    if (b == 0)
-        return a;
-    if (a == std::numeric_limits<Word>::min() && b == -1)
-        return 0;
-    return a % b;
-}
-
-} // namespace
 
 StepResult
 executeInst(const Instruction &inst, std::uint32_t index,

@@ -41,6 +41,21 @@ Memory::writeByte(Addr a, std::uint8_t v)
 UWord
 Memory::readWord(Addr a) const
 {
+    // Fast path: the word lies within one page, so a single map lookup
+    // serves all eight bytes (the byte loop over a contiguous buffer
+    // compiles to one unaligned load). Both functional engines and the
+    // timing core's execute-at-fetch path hit this on every Ld.
+    const Addr off = a & (kPageSize - 1);
+    if (off <= kPageSize - 8) {
+        const Page *p = find(a);
+        if (!p)
+            return 0;
+        const std::uint8_t *q = p->data() + off;
+        UWord v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<UWord>(q[i]) << (8 * i);
+        return v;
+    }
     UWord v = 0;
     for (unsigned i = 0; i < 8; ++i)
         v |= static_cast<UWord>(readByte(a + i)) << (8 * i);
@@ -50,6 +65,13 @@ Memory::readWord(Addr a) const
 void
 Memory::writeWord(Addr a, UWord v)
 {
+    const Addr off = a & (kPageSize - 1);
+    if (off <= kPageSize - 8) {
+        std::uint8_t *q = findOrCreate(a).data() + off;
+        for (unsigned i = 0; i < 8; ++i)
+            q[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < 8; ++i)
         writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }
@@ -77,6 +99,29 @@ Memory::fingerprint() const
         h ^= ph;
     }
     return h;
+}
+
+void
+Memory::saveState(ByteWriter &w) const
+{
+    w.u64(pages_.size());
+    for (const auto &kv : pages_) {
+        w.u64(kv.first);
+        w.raw(kv.second->data(), kPageSize);
+    }
+}
+
+void
+Memory::restoreState(ByteReader &r)
+{
+    pages_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr idx = r.u64();
+        auto page = std::make_unique<Page>();
+        r.raw(page->data(), kPageSize);
+        pages_.emplace(idx, std::move(page));
+    }
 }
 
 std::vector<Addr>
@@ -108,6 +153,26 @@ ArchState::loadData(const Program &prog)
             a += 8;
         }
     }
+}
+
+void
+ArchState::saveState(ByteWriter &w) const
+{
+    for (Word v : regs_)
+        w.i64(v);
+    for (bool p : preds_)
+        w.b(p);
+    mem_.saveState(w);
+}
+
+void
+ArchState::restoreState(ByteReader &r)
+{
+    for (Word &v : regs_)
+        v = r.i64();
+    for (bool &p : preds_)
+        p = r.b();
+    mem_.restoreState(r);
 }
 
 void

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 
@@ -48,6 +49,11 @@ class Memory
      *  state-diff walk memory word-by-word (arch/state_diff.hh) without
      *  exposing page internals; untouched addresses read as zero. */
     std::vector<Addr> touchedPages() const;
+
+    /** Serialize every touched page (checkpointing). */
+    void saveState(ByteWriter &w) const;
+    /** Replace the entire contents with a saved image. */
+    void restoreState(ByteReader &r);
 
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
@@ -97,6 +103,10 @@ class ArchState
 
     Memory &mem() { return mem_; }
     const Memory &mem() const { return mem_; }
+
+    /** Serialize registers, predicates, and memory (checkpointing). */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     std::array<Word, kNumIntRegs> regs_;

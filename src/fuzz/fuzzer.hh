@@ -8,11 +8,17 @@
  *  (a) the functional emulator across variants — full architectural
  *      state (every integer register and memory word) must match the
  *      normal variant's; the first differing word is reported;
- *  (b) the cycle-accurate core across a SimParams matrix (confidence
+ *  (b) the emulator's two dispatch engines against each other — the
+ *      computed-goto threaded loop (arch/threaded.hh) must leave
+ *      bit-identical architectural state, retire counts, and
+ *      fingerprints to the reference switch interpreter on every
+ *      variant (the guarantee the sampled-simulation fast-forward
+ *      path rests on);
+ *  (c) the cycle-accurate core across a SimParams matrix (confidence
  *      geometry, ROB/IQ sizes, poll vs. event scheduler, predication
  *      mechanism) — result register and memory fingerprint must match
  *      the emulator on every variant × machine point;
- *  (c) the attribution invariant — with collectAttribution on, the
+ *  (d) the attribution invariant — with collectAttribution on, the
  *      attrib.* CPI-stack counters must sum exactly to core.cycles.
  *
  * On divergence the driver shrinks the program (shrink.hh) under a
@@ -61,6 +67,9 @@ struct FuzzOptions
     unsigned runs = 200;         ///< programs to generate
     GenConfig gen;               ///< program-shape knobs
     bool runCore = true;         ///< also run the cycle-accurate core
+    /** Cross-check threaded vs. switch dispatch on every variant
+     *  (kind "dispatch-diverge"); cheap, so on by default. */
+    bool checkDispatch = true;
     std::vector<ParamsPoint> matrix = defaultParamsMatrix(true);
     std::uint64_t emuMaxSteps = 2'000'000; ///< per-run emulator budget
     bool shrink = true;          ///< minimize failures before reporting
@@ -82,6 +91,7 @@ struct FuzzReport
 {
     unsigned programs = 0;       ///< programs generated and checked
     unsigned variantsChecked = 0;///< variant runs on the emulator
+    unsigned dispatchChecked = 0;///< switch-vs-threaded cross-checks
     unsigned coreRuns = 0;       ///< core simulations executed
     unsigned compileRejects = 0; ///< out-of-predicate-register skips
     std::vector<FuzzFailure> failures;
@@ -97,6 +107,7 @@ struct CheckOutcome
     std::string detail; ///< empty when ok
     bool compileReject = false; ///< fresh-guard pool exhausted: skip
     unsigned variantsChecked = 0;
+    unsigned dispatchChecked = 0;
     unsigned coreRuns = 0;
 };
 

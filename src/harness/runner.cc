@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "harness/run_cache.hh"
+#include "harness/sampled_runner.hh"
 
 namespace wisc {
 
@@ -9,6 +10,12 @@ RunOutcome
 captureRun(const Program &prog, const SimParams &params,
            const std::vector<ProbeSink *> &sinks)
 {
+    if (params.sampling.enabled) {
+        wisc_assert(sinks.empty(),
+                    "sampled runs cannot drive probe sinks: windows are "
+                    "disjoint detailed legs, not one continuous run");
+        return runSampled(prog, params);
+    }
     StatSet stats;
     RunOutcome out;
     out.result = simulate(prog, params, stats, sinks);

@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "uarch/probe.hh"
@@ -86,9 +87,26 @@ class AttributionEngine : public ProbeSink
     /**
      * Publish results into the StatSet and assert the invariant: the
      * CPI stack sums exactly to 'totalCycles'. Call once, after the
-     * run loop, with the Core's final cycle count.
+     * run loop, with the number of cycles *this engine observed* — for
+     * a run resumed from a checkpoint that is the cycle delta, not the
+     * absolute clock. Publication is additive (counters and table rows
+     * use +=), so an engine covering each leg of a split run sums to
+     * the uninterrupted stack.
      */
     void finish(Cycle totalCycles);
+
+    /**
+     * Checkpoint/restore the cross-cycle flush-shadow state. A flush
+     * whose redirected work has not reached retirement can span a
+     * drained checkpoint boundary (the squashing branch itself retired,
+     * but nothing younger has); the resuming engine must keep charging
+     * those cycles to the same flush cause. Accumulated counters are
+     * deliberately *not* serialized — each leg publishes its own via
+     * finish(). Sequence numbers in the shadow stay comparable because
+     * the core checkpoints its seq allocator.
+     */
+    void saveShadow(ByteWriter &w) const;
+    void restoreShadow(ByteReader &r);
 
   private:
     enum Cause : unsigned

@@ -262,4 +262,70 @@ IndirectTargetCache::update(std::uint32_t pc, std::uint64_t hist,
     targets_[index(pc, hist)] = target;
 }
 
+// ---------------------------------------------------------------------
+// Warm-state checkpointing
+// ---------------------------------------------------------------------
+
+void
+HybridPredictor::saveState(ByteWriter &w) const
+{
+    w.u64(hist_);
+    w.vec(gshare_);
+    w.vec(pasHist_);
+    w.vec(pasPattern_);
+    w.vec(selector_);
+}
+
+void
+HybridPredictor::restoreState(ByteReader &r)
+{
+    hist_ = r.u64();
+    r.vec(gshare_);
+    r.vec(pasHist_);
+    r.vec(pasPattern_);
+    r.vec(selector_);
+}
+
+void
+Btb::saveState(ByteWriter &w) const
+{
+    w.u64(useClock_);
+    w.vec(entries_);
+}
+
+void
+Btb::restoreState(ByteReader &r)
+{
+    useClock_ = r.u64();
+    r.vec(entries_);
+}
+
+void
+ReturnAddressStack::saveState(ByteWriter &w) const
+{
+    w.u32(tos_);
+    w.u32(count_);
+    w.vec(stack_);
+}
+
+void
+ReturnAddressStack::restoreState(ByteReader &r)
+{
+    tos_ = r.u32();
+    count_ = r.u32();
+    r.vec(stack_);
+}
+
+void
+IndirectTargetCache::saveState(ByteWriter &w) const
+{
+    w.vec(targets_);
+}
+
+void
+IndirectTargetCache::restoreState(ByteReader &r)
+{
+    r.vec(targets_);
+}
+
 } // namespace wisc

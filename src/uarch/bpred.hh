@@ -47,6 +47,9 @@ class HybridPredictor final : public BranchPredictorBase
     void recover(std::uint32_t pc, bool actualTaken,
                  const BpredCheckpoint &ckpt) override;
 
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     std::size_t gshareIndex(std::uint32_t pc, std::uint64_t hist) const;
     std::size_t pasHistIndex(std::uint32_t pc) const;
@@ -82,6 +85,9 @@ class Btb
     void insert(std::uint32_t pc, std::uint32_t target, WishKind wish,
                 bool isConditional);
     void reset();
+
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     std::size_t setOf(std::uint32_t pc) const;
@@ -121,6 +127,9 @@ class ReturnAddressStack
     RasCheckpoint checkpoint() const;
     void restore(const RasCheckpoint &ckpt);
 
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
+
   private:
     std::vector<std::uint32_t> stack_;
     unsigned tos_;       ///< slot of the top entry (valid if count_ > 0)
@@ -140,6 +149,9 @@ class IndirectTargetCache
     std::uint32_t predict(std::uint32_t pc, std::uint64_t hist) const;
     void update(std::uint32_t pc, std::uint64_t hist,
                 std::uint32_t target);
+
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     std::size_t index(std::uint32_t pc, std::uint64_t hist) const;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "uarch/params.hh"
 
@@ -80,6 +81,16 @@ class IBranchPredictor
                          const BpredCheckpoint &ckpt) = 0;
 
     virtual std::uint64_t globalHistory() const = 0;
+
+    /** Serialize all value state — tables, histories, use clocks — for
+     *  a warm-state checkpoint. Counter handles are never serialized;
+     *  statistics stay with whichever StatSet the owner runs under. */
+    virtual void saveState(ByteWriter &w) const = 0;
+
+    /** Restore state written by saveState() into an identically
+     *  configured predictor (table geometry comes from SimParams and is
+     *  asserted, never resized, on restore). */
+    virtual void restoreState(ByteReader &r) = 0;
 };
 
 /** Common global-history plumbing. Derived predictors that keep extra
@@ -123,6 +134,11 @@ class IConfidence
                         bool correct) = 0;
 
     virtual void reset() = 0;
+
+    /** Checkpoint value state (see IBranchPredictor::saveState).
+     *  Stateless estimators (TAGE piggyback) serialize nothing. */
+    virtual void saveState(ByteWriter &w) const = 0;
+    virtual void restoreState(ByteReader &r) = 0;
 };
 
 /** Construct the direction predictor selected by params.predictor. */

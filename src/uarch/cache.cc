@@ -63,6 +63,20 @@ Cache::reset()
     useClock_ = 0;
 }
 
+void
+Cache::saveState(ByteWriter &w) const
+{
+    w.u64(useClock_);
+    w.vec(lines_);
+}
+
+void
+Cache::restoreState(ByteReader &r)
+{
+    useClock_ = r.u64();
+    r.vec(lines_);
+}
+
 MemorySystem::MemorySystem(const SimParams &params, StatSet &stats)
     : params_(params),
       il1_(params.il1, "mem.il1", stats),
@@ -140,6 +154,46 @@ MemorySystem::warmText(Addr base, Addr bytes)
     for (Addr a = base; a < base + bytes; a += il1_.lineBytes()) {
         il1_.access(a);
         l2_.access(a);
+    }
+}
+
+void
+MemorySystem::warmLoad(Addr addr)
+{
+    if (!dl1_.access(addr))
+        l2_.access(addr);
+}
+
+void
+MemorySystem::warmStore(Addr addr)
+{
+    storeAccess(addr);
+}
+
+void
+MemorySystem::saveState(ByteWriter &w) const
+{
+    il1_.saveState(w);
+    dl1_.saveState(w);
+    l2_.saveState(w);
+    w.u64(fillsInFlight_.size());
+    for (const auto &kv : fillsInFlight_) {
+        w.u64(kv.first);
+        w.u64(kv.second);
+    }
+}
+
+void
+MemorySystem::restoreState(ByteReader &r)
+{
+    il1_.restoreState(r);
+    dl1_.restoreState(r);
+    l2_.restoreState(r);
+    fillsInFlight_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        fillsInFlight_[line] = r.u64();
     }
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "uarch/params.hh"
@@ -39,6 +40,10 @@ class Cache
 
     /** Invalidate everything (used between benchmark runs). */
     void reset();
+
+    /** Serialize tag/LRU state for a warm-state checkpoint. */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
     std::uint32_t lineBytes() const { return params_.lineBytes; }
     std::uint32_t hitLatency() const { return params_.hitLatency; }
@@ -89,6 +94,20 @@ class MemorySystem
 
     /** Pre-touch a text range into L1I/L2 (warm instruction image). */
     void warmText(Addr base, Addr bytes);
+
+    /** Functional-warming accesses (sampled fast-forward): identical
+     *  tag/LRU effect to loadAccess/storeAccess but with no fill-timing
+     *  bookkeeping — the functional engine has no cycle clock, and a
+     *  checkpoint taken from it starts the window with no fills in
+     *  flight. */
+    void warmLoad(Addr addr);
+    void warmStore(Addr addr);
+
+    /** Serialize tag/LRU state of all three caches plus the in-flight
+     *  fill ledger (ready cycles are absolute, so a restore must also
+     *  restore the cycle clock they were recorded under). */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
     unsigned l1dHitLatency() const;
 

@@ -104,4 +104,18 @@ JrsConfidenceEstimator::reset()
     useClock_ = 0;
 }
 
+void
+JrsConfidenceEstimator::saveState(ByteWriter &w) const
+{
+    w.u64(useClock_);
+    w.vec(entries_);
+}
+
+void
+JrsConfidenceEstimator::restoreState(ByteReader &r)
+{
+    useClock_ = r.u64();
+    r.vec(entries_);
+}
+
 } // namespace wisc

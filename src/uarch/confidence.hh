@@ -39,6 +39,9 @@ class JrsConfidenceEstimator final : public IConfidence
 
     void reset() override;
 
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     struct Entry
     {

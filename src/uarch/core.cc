@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 
 #include "arch/emulator.hh"
@@ -684,7 +685,7 @@ Core::processControl(DynInst &di)
 void
 Core::stageFetch()
 {
-    if (fetchHalted_ || now_ < fetchStallUntil_)
+    if (fetchFrozen_ || fetchHalted_ || now_ < fetchStallUntil_)
         return;
     if (fetchQueue_.size() >= fetchQueueCap_)
         return;
@@ -1253,6 +1254,14 @@ Core::retireWishStats(const DynInst &di)
 SimResult
 Core::run(const Program &prog)
 {
+    beginRun(prog);
+    advance(std::numeric_limits<std::uint64_t>::max());
+    return finishRun();
+}
+
+void
+Core::beginRun(const Program &prog)
+{
     prog.validate();
     prog_ = &prog;
     code_ = prog.codeData();
@@ -1280,9 +1289,12 @@ Core::run(const Program &prog)
     fetchPc_ = prog.entry();
     fetchHalted_ = false;
     fetchStallUntil_ = 0;
+    fetchFrozen_ = false;
     now_ = 0;
     haltRetired_ = false;
     retiredUops_ = 0;
+    nextSeq_ = 1;
+    nextUid_ = 1;
     fetchQueue_.reset(fetchQueueCap_);
     rob_.reset(params_.robSize);
     iqCount_ = 0;
@@ -1304,17 +1316,72 @@ Core::run(const Program &prog)
     // The attribution engine rides the run as one more probe sink,
     // attached only when the params opt in, so default runs register no
     // attrib.* statistics and pay no per-event cost.
-    std::optional<AttributionEngine> attrib;
-    const unsigned externalSinks = nsinks_;
+    wisc_assert(!attrib_, "beginRun without a matching finishRun");
+    externalSinks_ = nsinks_;
+    attribStartCycle_ = 0;
     if (params_.collectAttribution || params_.collectBranchProfile) {
-        attrib.emplace(stats_, params_.collectAttribution,
-                       params_.collectBranchProfile);
-        addSink(&*attrib);
+        attrib_.emplace(stats_, params_.collectAttribution,
+                        params_.collectBranchProfile);
+        addSink(&*attrib_);
     }
+}
 
+void
+Core::beginRun(const Program &prog, const CoreCheckpoint &ckpt)
+{
+    beginRun(prog);
+
+    wisc_assert(ckpt.paramsFingerprint == params_.fingerprint(),
+                "checkpoint was taken under a different machine "
+                "configuration");
+    wisc_assert(ckpt.progFingerprint == prog.fingerprint(),
+                "checkpoint was taken running a different program");
+
+    now_ = ckpt.now;
+    retiredUops_ = ckpt.retiredUops;
+    fetchPc_ = ckpt.fetchPc;
+    fetchHalted_ = ckpt.fetchHalted;
+    fetchStallUntil_ = ckpt.fetchStallUntil;
+    nextSeq_ = ckpt.nextSeq;
+    nextUid_ = ckpt.nextUid;
+    attribStartCycle_ = now_;
+
+    ByteReader r(ckpt.bytes);
+    state_.restoreState(r);
+    memsys_.restoreState(r);
+    bpred_->restoreState(r);
+    conf_->restoreState(r);
+    btb_.restoreState(r);
+    ras_.restoreState(r);
+    itc_.restoreState(r);
+    if (ckpt.hasWish)
+        wish_.restoreState(r);
+    else
+        wish_.reset(); // checkpoint carries no engine state: cold-start
+    if (ckpt.hasAttribShadow) {
+        wisc_assert(attrib_,
+                    "checkpoint carries attribution shadow state but "
+                    "this run does not collect attribution");
+        attrib_->restoreShadow(r);
+    }
+    wisc_assert(r.done(), "checkpoint has ", ckpt.bytes.size() - r.pos(),
+                " trailing bytes — save/restore walk mismatch");
+}
+
+void
+Core::advance(std::uint64_t targetRetired, bool drain)
+{
+    fetchFrozen_ = false;
     const bool trace = getenv("WISC_TRACE") != nullptr;
     while (!haltRetired_ && now_ < params_.maxCycles &&
            retiredUops_ < params_.maxRetired) {
+        if (retiredUops_ >= targetRetired) {
+            if (!drain)
+                break;
+            fetchFrozen_ = true;
+        }
+        if (fetchFrozen_ && rob_.empty() && fetchQueue_.empty())
+            break;
         stageRetire();
         if (haltRetired_)
             break;
@@ -1331,10 +1398,47 @@ Core::run(const Program &prog)
         ++now_;
         ++*cCycles_;
     }
+}
 
-    if (attrib) {
-        attrib->finish(now_);
-        nsinks_ = externalSinks;
+void
+Core::checkpoint(CoreCheckpoint &out) const
+{
+    wisc_assert(rob_.empty() && fetchQueue_.empty(),
+                "checkpoint requires a drained pipeline (advance() with "
+                "drain, or a halted machine)");
+    out.now = now_;
+    out.retiredUops = retiredUops_;
+    out.fetchPc = fetchPc_;
+    out.fetchHalted = fetchHalted_;
+    out.fetchStallUntil = fetchStallUntil_;
+    out.nextSeq = nextSeq_;
+    out.nextUid = nextUid_;
+    out.paramsFingerprint = params_.fingerprint();
+    out.progFingerprint = prog_->fingerprint();
+
+    ByteWriter w;
+    state_.saveState(w);
+    memsys_.saveState(w);
+    bpred_->saveState(w);
+    conf_->saveState(w);
+    btb_.saveState(w);
+    ras_.saveState(w);
+    itc_.saveState(w);
+    wish_.saveState(w);
+    out.hasWish = true;
+    out.hasAttribShadow = attrib_.has_value();
+    if (attrib_)
+        attrib_->saveShadow(w);
+    out.bytes = w.take();
+}
+
+SimResult
+Core::finishRun()
+{
+    if (attrib_) {
+        attrib_->finish(now_ - attribStartCycle_);
+        nsinks_ = externalSinks_;
+        attrib_.reset();
     }
 
     SimResult res;
@@ -1350,9 +1454,14 @@ Core::run(const Program &prog)
         // core retired, or a long-but-terminating run would trip the
         // halt check on a truncated (meaningless) emulation instead of
         // comparing real final states.
+        // (saturating: a run that retired ~2^64 µops must not wrap the
+        // budget to zero and fail the halt assertion spuriously).
         std::uint64_t steps = std::max<std::uint64_t>(
-            Emulator::kDefaultMaxSteps, res.retiredUops + 1);
-        EmuResult er = ref.run(prog, nullptr, steps);
+            Emulator::kDefaultMaxSteps,
+            res.retiredUops == std::numeric_limits<std::uint64_t>::max()
+                ? res.retiredUops
+                : res.retiredUops + 1);
+        EmuResult er = ref.run(*prog_, nullptr, steps);
         wisc_assert(er.halted,
                     "reference emulation did not halt within ", steps,
                     " steps though the core retired Halt after ",

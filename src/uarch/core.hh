@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -43,9 +44,11 @@
 #include "common/ring.hh"
 #include "common/stats.hh"
 #include "isa/program.hh"
+#include "uarch/attribution.hh"
 #include "uarch/bpred.hh"
 #include "uarch/bpred_iface.hh"
 #include "uarch/cache.hh"
+#include "uarch/checkpoint.hh"
 #include "uarch/params.hh"
 #include "uarch/probe.hh"
 #include "uarch/wish.hh"
@@ -190,8 +193,57 @@ class Core
 
     /** Run the program to completion (Halt retired) or a safety limit.
      *  Set the WISC_TRACE environment variable for a per-cycle occupancy
-     *  trace on stderr (debugging aid). */
+     *  trace on stderr (debugging aid). Exactly equivalent to
+     *  beginRun(prog) + advance(UINT64_MAX) + finishRun(). */
     SimResult run(const Program &prog);
+
+    // --- incremental driving (sampled simulation, checkpointing) -------
+    //
+    // run() is the one-shot form; the sampled runner and the checkpoint
+    // round-trip tests drive the same machinery in pieces:
+    //
+    //   beginRun(prog [, ckpt]);   // reset (or restore) machine state
+    //   advance(target);           // cycle until `target` retired µops
+    //   checkpoint(out);           // optional, at a drained boundary
+    //   SimResult r = finishRun(); // publish attribution, final checks
+
+    /** Predecode the program, reset every piece of machine state, warm
+     *  the text image, and attach the attribution engine if the params
+     *  ask for one. Pair with finishRun(). */
+    void beginRun(const Program &prog);
+
+    /** As above, then restore the warm state in 'ckpt' (produced by
+     *  checkpoint() or by the functional fast-forward engine). The
+     *  checkpoint's params/program fingerprints must match ours. */
+    void beginRun(const Program &prog, const CoreCheckpoint &ckpt);
+
+    /**
+     * Cycle the pipeline until `targetRetired` *total* retired µops
+     * (whole-run coordinate — a restored core continues the original
+     * count), the program halts, or a safety limit trips. With `drain`
+     * (the default), reaching the target freezes fetch and keeps
+     * cycling until the ROB and fetch queue empty — a checkpointable
+     * boundary; without it the loop stops at the first cycle boundary
+     * at or past the target (sampled measurement windows, where the
+     * core is discarded afterwards). Pass UINT64_MAX to run to
+     * completion; the drain then never engages and the cycle loop is
+     * bit-identical to the historical run() loop.
+     */
+    void advance(std::uint64_t targetRetired, bool drain = true);
+
+    /** Publish attribution, run the optional final-state cross-check,
+     *  and return the run summary. */
+    SimResult finishRun();
+
+    /** Capture a warm-state checkpoint. Hard error unless the pipeline
+     *  is drained (rob and fetch queue empty — what advance() with
+     *  drain leaves behind). */
+    void checkpoint(CoreCheckpoint &out) const;
+
+    // Progress accessors (valid between beginRun and finishRun).
+    Cycle cycles() const { return now_; }
+    std::uint64_t retired() const { return retiredUops_; }
+    bool halted() const { return haltRetired_; }
 
     /** Maximum simultaneously attached probe sinks. */
     static constexpr unsigned kMaxSinks = 4;
@@ -281,6 +333,9 @@ class Core
     std::uint32_t fetchPc_ = 0;
     bool fetchHalted_ = false;
     Cycle fetchStallUntil_ = 0;
+    /** Draining toward a checkpoint boundary: fetch is frozen so the
+     *  in-flight window retires and the pipeline empties. */
+    bool fetchFrozen_ = false;
     RingBuffer<DynInst> fetchQueue_;
     unsigned fetchQueueCap_ = 0;
 
@@ -335,6 +390,16 @@ class Core
 
     Cycle now_ = 0;
     bool haltRetired_ = false;
+    /** Attribution engine for the current run (beginRun..finishRun),
+     *  attached as one more probe sink when the params opt in. */
+    std::optional<AttributionEngine> attrib_;
+    /** Sink count before the attribution engine was attached, restored
+     *  by finishRun(). */
+    unsigned externalSinks_ = 0;
+    /** Cycle clock at beginRun — finish() receives the delta this
+     *  engine observed, not the absolute clock, so a restored core's
+     *  attribution still sums exactly. */
+    Cycle attribStartCycle_ = 0;
     /** Completion cycles of outstanding L1D misses (MSHR occupancy),
      *  earliest first; stale heads are popped at the MSHR check instead
      *  of scanning every slot per load issue. */

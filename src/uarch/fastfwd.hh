@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Functional fast-forward engine for sampled simulation (SMARTS-style,
+ * DESIGN.md: sampling).
+ *
+ * Drives the threaded-code functional engine (arch/threaded.hh) over
+ * the architectural path while continuously warming the long-history
+ * µarchitectural structures a detailed window depends on: data caches
+ * (tag/LRU only, via MemorySystem::warmLoad/warmStore — no fill-timing
+ * bookkeeping, so checkpoints carry an empty fill ledger and a zero
+ * cycle clock), the direction predictor, the confidence estimator, the
+ * BTB, the return address stack, and the indirect target cache.
+ * Warming mirrors what the core's correct path does: per conditional
+ * branch predict → wish decision → shift the *effective* outcome →
+ * train against the fetch-time checkpoint; per control transfer the
+ * BTB/RAS/ITC updates of processControl()/stageRetire().
+ *
+ * The wish decision is replicated, not skipped, because it decides the
+ * machine's *history convention*: the core shifts the effective
+ * direction into the global history and only repairs it when a flush
+ * recovers the predictor — a correctly-predicated low-confidence wish
+ * branch never flushes, so its history bit stays the effective (fall
+ * through) direction even when the branch was architecturally taken.
+ * Warming with actual outcomes instead would build predictor,
+ * confidence, and indirect-target tables indexed under a history the
+ * core never produces; restored windows would then mispredict more,
+ * predicate more, and systematically overestimate CPI. The engine
+ * therefore carries a full WishEngine replica whose state is included
+ * in checkpoints, so windows resume with a warm mode machine and warm
+ * per-loop trip state too.
+ *
+ * Truly pipeline-local state — in-flight µops, fetch stalls — is
+ * re-warmed by each window's detailed-warmup prefix
+ * (SamplingParams::warmupUops).
+ *
+ * The engine owns a private StatSet so the warming structures' counter
+ * traffic never pollutes the caller's statistics.
+ */
+
+#ifndef WISC_UARCH_FASTFWD_HH_
+#define WISC_UARCH_FASTFWD_HH_
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/state.hh"
+#include "common/stats.hh"
+#include "isa/program.hh"
+#include "uarch/bpred.hh"
+#include "uarch/bpred_iface.hh"
+#include "uarch/cache.hh"
+#include "uarch/checkpoint.hh"
+#include "uarch/params.hh"
+#include "uarch/wish.hh"
+
+namespace wisc {
+
+class FastForward
+{
+  public:
+    /** Binds to (and must not outlive) 'prog'. Warms the text image
+     *  immediately, exactly as Core::beginRun() does. */
+    FastForward(const Program &prog, const SimParams &params);
+
+    /**
+     * Execute forward until `targetUops` *total* executed instructions
+     * (whole-run coordinate), or the program halts. Monotone: a target
+     * at or below the current position is a no-op, so callers cannot
+     * underflow the step budget. Never overshoots by even one
+     * instruction (the threaded engine checks its budget before each
+     * dispatch).
+     */
+    void advanceTo(std::uint64_t targetUops);
+
+    /** Instructions executed so far (== retired µops of a detailed run
+     *  under the C-style predication mechanism without NO-FETCH; the
+     *  sampled runner asserts that equivalence). */
+    std::uint64_t uops() const { return uops_; }
+
+    /** Instructions nullified by a FALSE qualifying predicate so far. */
+    std::uint64_t predFalse() const { return predFalse_; }
+
+    bool halted() const { return halted_; }
+
+    /** Current architectural state (exact-result extraction: result
+     *  register, memory fingerprint). */
+    const ArchState &archState() const { return state_; }
+
+    /** Capture a warm-state checkpoint at the current position,
+     *  restorable into a Core via beginRun(prog, ckpt). now == 0 and
+     *  the fill ledger is empty (see file comment); the wish-engine
+     *  replica state is included (hasWish), the attribution shadow
+     *  section is absent (cold-started). */
+    void checkpoint(CoreCheckpoint &out) const;
+
+  private:
+    const Program &prog_;
+    SimParams params_;
+    StatSet stats_; ///< private sink for warming-structure counters
+
+    ArchState state_;
+    MemorySystem memsys_;
+    std::unique_ptr<IBranchPredictor> bpred_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    IndirectTargetCache itc_;
+    std::unique_ptr<IConfidence> conf_;
+    WishEngine wish_;
+
+    std::uint32_t pc_;
+    std::uint64_t uops_ = 0;
+    std::uint64_t predFalse_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace wisc
+
+#endif // WISC_UARCH_FASTFWD_HH_

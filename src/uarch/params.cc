@@ -31,12 +31,12 @@ SimParams::fingerprint() const
     static_assert(sizeof(OracleKnobs) == 4,
                   "OracleKnobs changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
-    static_assert(sizeof(SimParams) == 288,
+    static_assert(sizeof(SimParams) == 328,
                   "SimParams changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
 
     Hasher h;
-    h.str("wisc.simparams.v1");
+    h.str("wisc.simparams.v2");
 
     h.u32(fetchWidth);
     h.u32(decodeWidth);
@@ -109,6 +109,12 @@ SimParams::fingerprint() const
     h.b(oracle.noFetch);
     h.b(oracle.perfectCBP);
     h.b(oracle.perfectConfidence);
+
+    h.b(sampling.enabled);
+    h.u64(sampling.periodUops);
+    h.u64(sampling.warmupUops);
+    h.u64(sampling.measureUops);
+    h.u64(sampling.prefixUops);
 
     h.u64(maxCycles);
     h.u64(maxRetired);

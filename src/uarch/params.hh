@@ -187,6 +187,44 @@ struct SimParams
 
     OracleKnobs oracle;
 
+    /**
+     * Sampled-simulation (SMARTS-style) configuration, consumed by the
+     * harness's SampledRunner — the Core itself never reads it. When
+     * enabled, a run is executed as functional fast-forward with
+     * µarchitectural warming plus periodic detailed windows, and the
+     * RunOutcome holds statistical estimates instead of exact counts
+     * (architectural results — retired µops, result register, memory
+     * fingerprint — stay exact). Fingerprinted like every other field,
+     * so sampled and full runs never alias in the run cache.
+     */
+    struct SamplingParams
+    {
+        bool enabled = false;
+        /** Distance between consecutive window *starts*, in retired
+         *  µops of the whole-program instruction stream. */
+        std::uint64_t periodUops = 250'000;
+        /** Detailed-warmup µops per window: executed cycle-accurately
+         *  to fill pipeline-adjacent state the checkpoint cold-starts,
+         *  excluded from the CPI estimate. */
+        std::uint64_t warmupUops = 2'000;
+        /** Measured µops per window. */
+        std::uint64_t measureUops = 8'000;
+        /**
+         * Detailed prefix: the first prefixUops retired µops are
+         * simulated cycle-accurately from reset and counted *exactly*
+         * (stratified sampling at a 100% rate); periodic windows then
+         * sample only the remainder, starting half a period past the
+         * prefix. A program's cold-start transient — compulsory misses
+         * over its whole working set, with a steeply decaying CPI — is
+         * a fixed cycle cost that a handful of windows cannot estimate;
+         * measuring it exactly removes the dominant bias term for
+         * runs that are not astronomically long. Zero means pure
+         * periodic sampling.
+         */
+        std::uint64_t prefixUops = 0;
+    };
+    SamplingParams sampling;
+
     // Safety limits.
     std::uint64_t maxCycles = 2'000'000'000ull;
     std::uint64_t maxRetired = 2'000'000'000ull;

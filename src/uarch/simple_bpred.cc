@@ -78,4 +78,32 @@ TwoLevelPredictor::train(std::uint32_t pc, bool taken,
     train2bit(ctrs_[indexOf(pc, ckpt.globalHistory)], taken);
 }
 
+void
+BimodalPredictor::saveState(ByteWriter &w) const
+{
+    w.u64(hist_);
+    w.vec(ctrs_);
+}
+
+void
+BimodalPredictor::restoreState(ByteReader &r)
+{
+    hist_ = r.u64();
+    r.vec(ctrs_);
+}
+
+void
+TwoLevelPredictor::saveState(ByteWriter &w) const
+{
+    w.u64(hist_);
+    w.vec(ctrs_);
+}
+
+void
+TwoLevelPredictor::restoreState(ByteReader &r)
+{
+    hist_ = r.u64();
+    r.vec(ctrs_);
+}
+
 } // namespace wisc

@@ -31,6 +31,9 @@ class BimodalPredictor final : public BranchPredictorBase
     void train(std::uint32_t pc, bool taken,
                const BpredCheckpoint &ckpt) override;
 
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     std::vector<std::uint8_t> ctrs_;
 };
@@ -44,6 +47,9 @@ class TwoLevelPredictor final : public BranchPredictorBase
     bool predict(std::uint32_t pc, BpredCheckpoint &ckpt) override;
     void train(std::uint32_t pc, bool taken,
                const BpredCheckpoint &ckpt) override;
+
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
 
   private:
     std::size_t indexOf(std::uint32_t pc, std::uint64_t hist) const;

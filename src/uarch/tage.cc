@@ -270,4 +270,24 @@ TageConfidence::estimate(std::uint32_t pc, std::uint64_t hist) const
     return high;
 }
 
+void
+TagePredictor::saveState(ByteWriter &w) const
+{
+    w.u64(hist_);
+    w.u64(trains_);
+    w.vec(base_);
+    for (const auto &t : tables_)
+        w.vec(t);
+}
+
+void
+TagePredictor::restoreState(ByteReader &r)
+{
+    hist_ = r.u64();
+    trains_ = r.u64();
+    r.vec(base_);
+    for (auto &t : tables_)
+        r.vec(t);
+}
+
 } // namespace wisc

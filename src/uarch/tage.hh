@@ -71,6 +71,9 @@ class TagePredictor final : public BranchPredictorBase
     /** History length of tagged table t (geometric; for tests/docs). */
     unsigned historyLength(unsigned t) const { return histLen_[t]; }
 
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     struct Entry
     {
@@ -118,6 +121,10 @@ class TageConfidence final : public IConfidence
     bool estimate(std::uint32_t pc, std::uint64_t hist) const override;
     void update(std::uint32_t, std::uint64_t, bool) override {}
     void reset() override {}
+
+    /** All state lives in the predictor; nothing to checkpoint. */
+    void saveState(ByteWriter &) const override {}
+    void restoreState(ByteReader &) override {}
 
   private:
     const TagePredictor &pred_;

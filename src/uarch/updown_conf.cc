@@ -59,4 +59,16 @@ UpDownConfidenceEstimator::reset()
     ctrs_.assign(ctrs_.size(), 0);
 }
 
+void
+UpDownConfidenceEstimator::saveState(ByteWriter &w) const
+{
+    w.vec(ctrs_);
+}
+
+void
+UpDownConfidenceEstimator::restoreState(ByteReader &r)
+{
+    r.vec(ctrs_);
+}
+
 } // namespace wisc

@@ -33,6 +33,9 @@ class UpDownConfidenceEstimator final : public IConfidence
                 bool correct) override;
     void reset() override;
 
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     std::size_t index(std::uint32_t pc, std::uint64_t hist) const;
 

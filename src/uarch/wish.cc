@@ -32,6 +32,81 @@ WishEngine::WishEngine(StatSet &stats, bool loopBias)
 }
 
 void
+WishEngine::reset()
+{
+    mode_ = FrontEndMode::Normal;
+    lowConfFromLoop_ = false;
+    pendingTarget_ = 0xffffffff;
+    predBuffer_.fill(-1);
+    complementOf_.fill(kPredNone);
+    loopLastPred_.clear();
+    loopTrips_.clear();
+    loopInstanceOf_.clear();
+    branchPred_ = 0;
+}
+
+void
+WishEngine::saveState(ByteWriter &w) const
+{
+    w.u8(static_cast<std::uint8_t>(mode_));
+    w.b(lowConfFromLoop_);
+    w.u32(pendingTarget_);
+    for (std::int8_t v : predBuffer_)
+        w.u8(static_cast<std::uint8_t>(v));
+    for (PredIdx p : complementOf_)
+        w.u8(p);
+    w.u8(branchPred_);
+    w.u64(loopLastPred_.size());
+    for (const auto &kv : loopLastPred_) {
+        w.u32(kv.first);
+        w.b(kv.second);
+    }
+    w.u64(loopTrips_.size());
+    for (const auto &kv : loopTrips_) {
+        w.u32(kv.first);
+        w.u32(kv.second.fetchIter);
+        w.u32(kv.second.ewmaTrip4);
+        w.b(kv.second.recordedThisInstance);
+    }
+    w.u64(loopInstanceOf_.size());
+    for (const auto &kv : loopInstanceOf_) {
+        w.u32(kv.first);
+        w.u32(kv.second);
+    }
+}
+
+void
+WishEngine::restoreState(ByteReader &r)
+{
+    mode_ = static_cast<FrontEndMode>(r.u8());
+    lowConfFromLoop_ = r.b();
+    pendingTarget_ = r.u32();
+    for (std::int8_t &v : predBuffer_)
+        v = static_cast<std::int8_t>(r.u8());
+    for (PredIdx &p : complementOf_)
+        p = r.u8();
+    branchPred_ = r.u8();
+    loopLastPred_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        std::uint32_t pc = r.u32();
+        loopLastPred_[pc] = r.b();
+    }
+    loopTrips_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        std::uint32_t pc = r.u32();
+        LoopTripState &t = loopTrips_[pc];
+        t.fetchIter = r.u32();
+        t.ewmaTrip4 = r.u32();
+        t.recordedThisInstance = r.b();
+    }
+    loopInstanceOf_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        std::uint32_t pc = r.u32();
+        loopInstanceOf_[pc] = r.u32();
+    }
+}
+
+void
 WishEngine::onInstructionFetched(std::uint32_t pc)
 {
     // "Target fetched" exit transition (Figure 8): the target of the

@@ -23,6 +23,7 @@
 #include <map>
 #include <optional>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
@@ -74,6 +75,16 @@ class WishEngine
     /** Any pipeline flush returns the front end to normal mode and
      *  clears the predicate prediction buffer. */
     void onFlush();
+
+    /** Return every piece of engine state to its construction value
+     *  (cold front end; counters are untouched). */
+    void reset();
+
+    /** Checkpoint/restore all value state: mode machine, predicate
+     *  buffer, complement map, and the per-static-loop prediction /
+     *  trip-count / instance tables. */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
     // --- predicate dependency elimination buffer (§3.5.3) -------------
 

@@ -81,6 +81,33 @@ programFor(const CompiledWorkload &w, BinaryVariant v, InputSet input)
     return p;
 }
 
+Program
+programFor(const CompiledWorkload &w, BinaryVariant v, InputSet input,
+           std::uint64_t tripScale)
+{
+    wisc_assert(tripScale > 0, "tripScale must be at least 1");
+    Program p = w.variants.at(v).program;
+    std::vector<DataSegment> segs = workloadInput(w.name, input);
+    // Every kernel reads its outer trip count (mcf: pass count) from
+    // word[0] of the parameter block, and every kernel wraps its data
+    // indices with a power-of-two mask, so multiplying the trip count
+    // lengthens the run without ever walking off the input arrays.
+    // Branch/memory *statistics* are unchanged; only the run length
+    // (and thus the weight of the cold-start transient) scales.
+    bool scaled = false;
+    for (DataSegment &seg : segs) {
+        if (seg.base == kParamBase) {
+            wisc_assert(!seg.words.empty(), "empty parameter block");
+            seg.words[0] = static_cast<Word>(
+                static_cast<UWord>(seg.words[0]) * tripScale);
+            scaled = true;
+        }
+    }
+    wisc_assert(scaled, "workload '", w.name, "' has no parameter block");
+    p.setData(segs);
+    return p;
+}
+
 namespace kernels {
 
 std::vector<Word>

@@ -244,6 +244,16 @@ TEST(FingerprintTest, EverySimParamsFieldPerturbsTheHash)
          [](SimParams &p) { p.oracle.perfectCBP = true; }},
         {"oracle.perfectConfidence",
          [](SimParams &p) { p.oracle.perfectConfidence = true; }},
+        {"sampling.enabled",
+         [](SimParams &p) { p.sampling.enabled = true; }},
+        {"sampling.periodUops",
+         [](SimParams &p) { ++p.sampling.periodUops; }},
+        {"sampling.warmupUops",
+         [](SimParams &p) { ++p.sampling.warmupUops; }},
+        {"sampling.measureUops",
+         [](SimParams &p) { ++p.sampling.measureUops; }},
+        {"sampling.prefixUops",
+         [](SimParams &p) { ++p.sampling.prefixUops; }},
         {"maxCycles", [](SimParams &p) { --p.maxCycles; }},
         {"maxRetired", [](SimParams &p) { --p.maxRetired; }},
         {"checkFinalState",
