@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Produces BENCH_serve.json: full-matrix wall clock standalone vs
+# sharded across N wisc-serve client processes (cold and warm cache),
+# plus the bit-identity check — the 4-client sharded run must leave a
+# cache directory byte-identical to the single-process run's.
+#
+# Usage: bench/serve_bench.sh [BUILD_DIR [WORK_DIR]]
+# Measurements are resumable: each lands in WORK_DIR/<name>.secs and is
+# skipped when present, so an interrupted run picks up where it left
+# off. The final document is written to BENCH_serve.json in the
+# repo root (next to this script's parent).
+set -euo pipefail
+
+BUILD=${1:-build}
+WORK=${2:-/tmp/wisc_serve_bench}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+RUN_MATRIX=$ROOT/$BUILD/bench/run_matrix
+export WISC_SERVE_BIN=$ROOT/$BUILD/src/serve/wisc-serve
+mkdir -p "$WORK"
+
+CLIENT_COUNTS=(1 2 4)
+
+wall() { # wall <name> <cmd...>: time a command, cache the result
+    local name=$1; shift
+    if [ -f "$WORK/$name.secs" ]; then
+        echo "  $name: $(cat "$WORK/$name.secs")s (cached)"
+        return
+    fi
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$@" > "$WORK/$name.log" 2>&1
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }' \
+        > "$WORK/$name.secs"
+    echo "  $name: $(cat "$WORK/$name.secs")s"
+}
+
+shard_clients() { # shard_clients <name> <nclients> <cachedir>
+    local name=$1 n=$2 cache=$3
+    local sock="$WORK/$name.sock"
+    "$WISC_SERVE_BIN" --socket "$sock" --cache "$cache" \
+        > "$WORK/$name.daemon.log" 2>&1 &
+    local daemon=$!
+    for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+    local pids=()
+    for i in $(seq 1 "$n"); do
+        "$RUN_MATRIX" --serve "$sock" --shard "$i/$n" \
+            --json "$WORK/$name.client$i.json" \
+            > "$WORK/$name.client$i.log" 2>&1 &
+        pids+=($!)
+    done
+    local rc=0
+    for pid in "${pids[@]}"; do wait "$pid" || rc=$?; done
+    kill -TERM "$daemon" 2>/dev/null || true
+    wait "$daemon" 2>/dev/null || true
+    return "$rc"
+}
+
+echo "== standalone run_matrix (one process, local cache) =="
+[ -f "$WORK/standalone_cold.secs" ] || rm -rf "$WORK/cache_local"
+wall standalone_cold \
+    "$RUN_MATRIX" --cache "$WORK/cache_local" \
+    --json "$WORK/standalone_cold.json"
+wall standalone_warm \
+    "$RUN_MATRIX" --cache "$WORK/cache_local" \
+    --json "$WORK/standalone_warm.json"
+
+for n in "${CLIENT_COUNTS[@]}"; do
+    echo "== wisc-serve, $n client process(es) sharding the matrix =="
+    [ -f "$WORK/serve${n}_cold.secs" ] || rm -rf "$WORK/cache_serve$n"
+    wall "serve${n}_cold" shard_clients "serve${n}_cold" "$n" \
+        "$WORK/cache_serve$n"
+    wall "serve${n}_warm" shard_clients "serve${n}_warm" "$n" \
+        "$WORK/cache_serve$n"
+done
+
+echo "== bit-identity: 4-client sharded cache vs single-process =="
+if diff -r "$WORK/cache_local" "$WORK/cache_serve4" > /dev/null; then
+    identical=true
+    echo "  identical ($(ls "$WORK/cache_local" | wc -l) entries)"
+else
+    identical=false
+    echo "  MISMATCH" >&2
+fi
+
+coalesced=$(grep -h '"coalesced"' "$WORK"/serve4_cold.client*.json |
+    grep -o '[0-9]*' | sort -n | tail -1)
+entries=$(ls "$WORK/cache_local" | wc -l | tr -d ' ')
+
+{
+    echo '{'
+    echo '  "bench": "serve_shard_timing",'
+    echo '  "schema_version": 1,'
+    echo '  "description": "Full experiment matrix wall clock: one run_matrix process with a local cache vs N run_matrix client processes sharding the matrix across one wisc-serve daemon (one shared pool, one shared persistent cache, cross-client request coalescing). Cold = empty cache dir, warm = rerun against the populated cache. The 4-client sharded run leaves a cache directory byte-identical to the single-process run.",'
+    echo "  \"distinct_simulations\": $entries,"
+    echo "  \"standalone\": { \"cold_wall_seconds\": $(cat "$WORK/standalone_cold.secs"), \"warm_wall_seconds\": $(cat "$WORK/standalone_warm.secs") },"
+    echo '  "serve": {'
+    sep=''
+    for n in "${CLIENT_COUNTS[@]}"; do
+        printf '%s    "%s_clients": { "cold_wall_seconds": %s, "warm_wall_seconds": %s }' \
+            "$sep" "$n" "$(cat "$WORK/serve${n}_cold.secs")" \
+            "$(cat "$WORK/serve${n}_warm.secs")"
+        sep=',
+'
+    done
+    echo ''
+    echo '  },'
+    echo "  \"serve4_cold_max_coalesced\": ${coalesced:-0},"
+    echo "  \"shard4_cache_bit_identical_to_standalone\": $identical"
+    echo '}'
+} > "$ROOT/BENCH_serve.json"
+echo "wrote $ROOT/BENCH_serve.json"

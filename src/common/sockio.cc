@@ -1,0 +1,193 @@
+#include "common/sockio.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace wisc {
+
+namespace {
+
+bool
+fillAddr(const std::string &path, sockaddr_un &addr, std::string *error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** write(2) the whole buffer, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** read(2) exactly n bytes. Returns n on success, 0 on immediate EOF,
+ *  -1 on error, and the partial count on EOF mid-buffer. */
+ssize_t
+readAll(int fd, char *data, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, data + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            break; // EOF
+        got += static_cast<std::size_t>(r);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, error))
+        return Socket{};
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return Socket{};
+    }
+    Socket sock(fd);
+    ::unlink(path.c_str()); // stale socket file from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        if (error)
+            *error = "bind '" + path + "': " + std::strerror(errno);
+        return Socket{};
+    }
+    if (::listen(fd, 64) < 0) {
+        if (error)
+            *error = "listen '" + path + "': " + std::strerror(errno);
+        return Socket{};
+    }
+    return sock;
+}
+
+Socket
+acceptConn(const Socket &listener)
+{
+    for (;;) {
+        int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        return Socket{};
+    }
+}
+
+Socket
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr, error))
+        return Socket{};
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return Socket{};
+    }
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        if (error)
+            *error = "connect '" + path + "': " + std::strerror(errno);
+        return Socket{};
+    }
+    return sock;
+}
+
+bool
+sendFrame(const Socket &sock, const std::string &payload)
+{
+    if (!sock.valid() || payload.size() > kMaxFrameBytes)
+        return false;
+    char len[4];
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        len[i] = static_cast<char>(n >> (8 * i));
+    return writeAll(sock.fd(), len, 4) &&
+           writeAll(sock.fd(), payload.data(), payload.size());
+}
+
+FrameStatus
+recvFrame(const Socket &sock, std::string &payload)
+{
+    if (!sock.valid())
+        return FrameStatus::Error;
+    char len[4];
+    ssize_t r = readAll(sock.fd(), len, 4);
+    if (r < 0)
+        return FrameStatus::Error;
+    if (r == 0)
+        return FrameStatus::Eof;
+    if (r != 4)
+        return FrameStatus::Truncated;
+
+    std::uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= static_cast<std::uint32_t>(static_cast<unsigned char>(len[i]))
+             << (8 * i);
+    if (n > kMaxFrameBytes)
+        return FrameStatus::Oversized;
+
+    payload.resize(n);
+    if (n == 0)
+        return FrameStatus::Ok;
+    r = readAll(sock.fd(), payload.data(), n);
+    if (r < 0)
+        return FrameStatus::Error;
+    if (static_cast<std::uint32_t>(r) != n)
+        return FrameStatus::Truncated;
+    return FrameStatus::Ok;
+}
+
+} // namespace wisc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unix-domain stream sockets plus length-prefixed message framing — the
+ * byte-transport layer beneath the wisc-serve wire protocol
+ * (src/serve/wire.hh).
+ *
+ * A frame is a 4-byte little-endian payload length followed by exactly
+ * that many payload bytes (the payload is JSON at the protocol layer,
+ * but this layer never looks inside). recvFrame() is strict: a length
+ * above kMaxFrameBytes, or EOF mid-length/mid-payload, is reported
+ * distinctly so the server can answer garbage with a clean error frame
+ * instead of crashing or hanging.
+ *
+ * All functions return errors by value (no exceptions): the server must
+ * survive any sequence of bytes a client throws at it, and the client
+ * turns failures into FatalError at its own layer.
+ */
+
+#ifndef WISC_COMMON_SOCKIO_HH_
+#define WISC_COMMON_SOCKIO_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace wisc {
+
+/** Largest frame either side accepts. Big enough for any workload
+ *  program image plus its input data serialized as JSON; small enough
+ *  that a garbage length prefix cannot make a peer allocate gigabytes. */
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Result of one frame receive. */
+enum class FrameStatus
+{
+    Ok,        ///< payload filled in
+    Eof,       ///< orderly close before any length byte
+    Truncated, ///< EOF mid-length or mid-payload
+    Oversized, ///< length prefix exceeded kMaxFrameBytes
+    Error,     ///< read(2) failed
+};
+
+/** Owning socket fd with close-on-destruct move semantics. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Socket &
+    operator=(Socket &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /** shutdown(2) both directions — async-signal-safe way to kick a
+     *  thread out of a blocking accept()/read(). */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bind + listen on a unix socket path (an existing socket file is
+ *  unlinked first). Invalid Socket and a message in *error on failure. */
+Socket listenUnix(const std::string &path, std::string *error);
+
+/** Accept one connection; invalid Socket when the listener was shut
+ *  down or accept failed. */
+Socket acceptConn(const Socket &listener);
+
+/** Connect to a unix socket path. Invalid Socket on failure (message in
+ *  *error when non-null). */
+Socket connectUnix(const std::string &path, std::string *error);
+
+/** Write one length-prefixed frame; false on any short write. SIGPIPE
+ *  is suppressed (MSG_NOSIGNAL) so a vanished peer is an error return,
+ *  not a process kill. */
+bool sendFrame(const Socket &sock, const std::string &payload);
+
+/** Read one length-prefixed frame into payload. */
+FrameStatus recvFrame(const Socket &sock, std::string &payload);
+
+} // namespace wisc
+
+#endif // WISC_COMMON_SOCKIO_HH_

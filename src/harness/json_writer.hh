@@ -8,7 +8,7 @@
  *
  *   RunOutcome   -> { "halted": bool, "cycles": u64,
  *                     "retired_uops": u64, "ipc": double,
- *                     "result_reg": u64,
+ *                     "result_reg": u64, "mem_fingerprint": u64,
  *                     "counters": { name: u64, ... },
  *                     "histograms": { name: { "count": u64,
  *                                             "buckets": [u64...] } },
@@ -47,6 +47,16 @@ namespace wisc {
 json::Value toJson(const RunOutcome &r);
 json::Value toJson(const NormalizedResults &r);
 json::Value toJson(const Table &t);
+
+/**
+ * Inverse of toJson(RunOutcome): reconstructs the outcome — result,
+ * every counter, histogram, and table — bit-identically. This is the
+ * wire decoding of the wisc-serve protocol, so client and daemon share
+ * exactly the `--json` encoding rather than a third ad-hoc one.
+ * Derived members ("ipc") are ignored. FatalError on a structurally
+ * invalid document.
+ */
+RunOutcome runOutcomeFromJson(const json::Value &v);
 
 /** Write a document to a file; FatalError if the file can't be written. */
 void writeJsonFile(const std::string &path, const json::Value &doc);

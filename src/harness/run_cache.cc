@@ -142,6 +142,12 @@ tmpSuffix()
 
 } // namespace
 
+std::uint32_t
+runCacheFormatVersion()
+{
+    return kFormatVersion;
+}
+
 // ---- entry encoding ---------------------------------------------------
 
 std::string
@@ -436,10 +442,25 @@ RunService::tryLoad(const RunKey &key, RunOutcome &out)
     // The entry exists but failed validation: corrupt, truncated, or
     // written by an incompatible format version. Fall back to a fresh
     // simulation (which overwrites it) rather than failing the run.
-    wisc_warn("run cache entry '", path,
-              "' is corrupt or incompatible; re-simulating");
-    std::lock_guard<std::mutex> lk(mutex_);
-    ++stats_.corrupt;
+    // Warn once per offending path: under N sharded wisc-serve clients
+    // one poisoned entry would otherwise emit a warning per request.
+    bool firstSighting;
+    std::uint64_t total;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++stats_.corrupt;
+        total = stats_.corrupt;
+        firstSighting = warnedCorrupt_.insert(path).second;
+        // Bound the memory a pathological cache directory can pin.
+        if (warnedCorrupt_.size() > 1024)
+            warnedCorrupt_.clear();
+    }
+    if (firstSighting)
+        wisc_warn("run cache entry '", path,
+                  "' is corrupt or incompatible; re-simulating "
+                  "(warning once per entry; ", total,
+                  " corrupt rejection", total == 1 ? "" : "s",
+                  " so far)");
     return false;
 }
 

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "harness/runner.hh"
@@ -131,6 +132,8 @@ class RunService
     bool memoize_ = false;
     RunCacheStats stats_;
     std::map<RunKey, std::shared_future<OutcomePtr>> inflight_;
+    /** Corrupt-entry paths already warned about (rate limiting). */
+    std::set<std::string> warnedCorrupt_;
 };
 
 /** Serialize a RunOutcome into the versioned, checksummed cache-entry
@@ -143,6 +146,11 @@ std::string encodeRunOutcome(const RunKey &key, const RunOutcome &out);
  *  mismatch, key mismatch, checksum mismatch, or truncated payload. */
 bool decodeRunOutcome(const std::string &bytes, const RunKey &key,
                       RunOutcome &out);
+
+/** The on-disk entry format version. Part of the wisc-serve machine
+ *  fingerprint: a client and daemon that would write incompatible cache
+ *  entries must fail the handshake, not poison each other's replays. */
+std::uint32_t runCacheFormatVersion();
 
 } // namespace wisc
 

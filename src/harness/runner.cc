@@ -57,6 +57,22 @@ RunOutcome::require(const std::string &name) const
     return it->second;
 }
 
+namespace {
+RunTransport gTransport; // set before parallel phases, never during
+} // namespace
+
+void
+setRunTransport(RunTransport transport)
+{
+    gTransport = std::move(transport);
+}
+
+bool
+runTransportInstalled()
+{
+    return static_cast<bool>(gTransport);
+}
+
 RunOutcome
 run(const RunRequest &req)
 {
@@ -70,35 +86,9 @@ run(const RunRequest &req)
     }
     if (req.cache == RunRequest::CachePolicy::Bypass || !req.sinks.empty())
         return captureRun(*prog, req.params, req.sinks);
+    if (gTransport)
+        return gTransport(*prog, req.params);
     return RunService::global().run(*prog, req.params);
 }
-
-// Deprecated shims. Bodies route through run() so behavior cannot
-// drift; silence the self-referential deprecation warnings.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-RunOutcome
-runWorkload(const CompiledWorkload &w, BinaryVariant v, InputSet input,
-            const SimParams &params)
-{
-    return run(RunRequest{w, v, input, params});
-}
-
-RunOutcome
-runProgram(const Program &prog, const SimParams &params)
-{
-    return run(RunRequest{prog, params});
-}
-
-RunOutcome
-runProgramFresh(const Program &prog, const SimParams &params)
-{
-    RunRequest req{prog, params};
-    req.cache = RunRequest::CachePolicy::Bypass;
-    return run(req);
-}
-
-#pragma GCC diagnostic pop
 
 } // namespace wisc

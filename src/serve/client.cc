@@ -1,0 +1,216 @@
+#include "serve/client.hh"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/json_writer.hh"
+#include "serve/wire.hh"
+#include "uarch/params_json.hh"
+
+namespace wisc {
+namespace serve {
+
+ServeClient::ServeClient(const std::string &socketPath)
+    : path_(socketPath)
+{
+    std::string error;
+    sock_ = connectUnix(socketPath, &error);
+    if (!sock_.valid())
+        wisc_fatal("wisc-serve client: ", error);
+
+    json::Value hello = makeMsg("hello", nextId_++);
+    hello["protocol"] = kProtocolVersion;
+    hello["machine"] = machineFingerprint();
+    const json::Value reply = request(hello);
+    const std::string &type = reply.at("type").asString();
+    if (type == "error")
+        wisc_fatal("wisc-serve handshake rejected by '", socketPath,
+                   "': ", reply.at("error").asString(), " (",
+                   reply.at("detail").asString(), ")");
+    if (type != "hello")
+        wisc_fatal("wisc-serve handshake: unexpected reply type '",
+                   type, "'");
+}
+
+json::Value
+ServeClient::request(const json::Value &msg)
+{
+    if (!sendFrame(sock_, msg.dump(0)))
+        wisc_fatal("wisc-serve client: send to '", path_,
+                   "' failed (daemon gone?)");
+    std::string payload;
+    const FrameStatus st = recvFrame(sock_, payload);
+    if (st != FrameStatus::Ok)
+        wisc_fatal("wisc-serve client: connection to '", path_,
+                   "' closed mid-reply");
+    return json::Value::parse(payload);
+}
+
+RunOutcome
+ServeClient::run(const Program &prog, const SimParams &params)
+{
+    json::Value msg = makeMsg("run", nextId_++);
+    msg["program"] = programToJson(prog);
+    msg["params"] = simParamsToJson(params);
+
+    for (;;) {
+        const json::Value reply = request(msg);
+        const std::string &type = reply.at("type").asString();
+        if (type == "outcome")
+            return runOutcomeFromJson(reply.at("outcome"));
+        if (type == "overloaded") {
+            const std::uint64_t ms =
+                reply.at("retry_after_ms").asUint();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms ? ms : 1));
+            continue;
+        }
+        if (type == "error")
+            wisc_fatal("wisc-serve run failed: ",
+                       reply.at("error").asString(), " (",
+                       reply.at("detail").asString(), ")");
+        wisc_fatal("wisc-serve run: unexpected reply type '", type,
+                   "'");
+    }
+}
+
+json::Value
+ServeClient::stats()
+{
+    return request(makeMsg("stats", nextId_++));
+}
+
+void
+ServeClient::shutdown()
+{
+    const json::Value reply = request(makeMsg("shutdown", nextId_++));
+    if (reply.at("type").asString() != "ok")
+        wisc_fatal("wisc-serve shutdown: unexpected reply type '",
+                   reply.at("type").asString(), "'");
+}
+
+void
+installServeTransport(const std::string &socketPath)
+{
+    // Fail fast: a bad path / skewed build should abort the whole
+    // command, not surface later from a pool worker.
+    { ServeClient probe(socketPath); }
+
+    setRunTransport([socketPath](const Program &prog,
+                                 const SimParams &params) {
+        // One connection per calling thread, reused across requests.
+        thread_local std::unique_ptr<ServeClient> conn;
+        thread_local std::string connPath;
+        if (!conn || connPath != socketPath) {
+            conn = std::make_unique<ServeClient>(socketPath);
+            connPath = socketPath;
+        }
+        return conn->run(prog, params);
+    });
+}
+
+namespace {
+
+std::string
+findServeBinary()
+{
+    namespace fs = std::filesystem;
+    if (const char *env = ::getenv("WISC_SERVE_BIN"))
+        if (*env && fs::exists(env))
+            return env;
+
+    std::error_code ec;
+    const fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+        const fs::path dir = exe.parent_path();
+        // Same directory (installed layout), then the build tree's
+        // src/serve relative to bench/ and tests/.
+        for (const fs::path cand :
+             {dir / "wisc-serve", dir / ".." / "src" / "serve" /
+                                      "wisc-serve",
+              dir / ".." / "serve" / "wisc-serve"})
+            if (fs::exists(cand, ec))
+                return cand.string();
+    }
+    return {};
+}
+
+} // namespace
+
+int
+spawnServeDaemon(const std::string &socketPath,
+                 const std::string &cacheDir,
+                 const std::vector<std::string> &extraArgs)
+{
+    const std::string bin = findServeBinary();
+    if (bin.empty())
+        wisc_fatal("cannot locate the wisc-serve binary (set "
+                   "WISC_SERVE_BIN)");
+
+    std::vector<std::string> argStore = {bin, "--socket", socketPath};
+    if (!cacheDir.empty()) {
+        argStore.push_back("--cache");
+        argStore.push_back(cacheDir);
+    }
+    argStore.insert(argStore.end(), extraArgs.begin(), extraArgs.end());
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        wisc_fatal("fork for wisc-serve failed");
+    if (pid == 0) {
+        std::vector<char *> argv;
+        for (std::string &a : argStore)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(bin.c_str(), argv.data());
+        _exit(127); // exec failed
+    }
+
+    // Poll until the daemon's listener answers (it unlinks any stale
+    // socket first, so a successful connect means *this* daemon).
+    for (int i = 0; i < 1000; ++i) {
+        std::string error;
+        Socket probe = connectUnix(socketPath, &error);
+        if (probe.valid())
+            return static_cast<int>(pid);
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            wisc_fatal("wisc-serve exited during startup (status ",
+                       status, ")");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    wisc_fatal("wisc-serve did not come up on '", socketPath,
+               "' within 10s");
+}
+
+void
+stopServeDaemon(int pid, const std::string &socketPath)
+{
+    try {
+        ServeClient(socketPath).shutdown();
+    } catch (const FatalError &) {
+        // Already gone (or unreachable): fall through to reap/kill.
+        ::kill(pid, SIGTERM);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+}
+
+} // namespace serve
+} // namespace wisc

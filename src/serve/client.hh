@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Client side of the wisc-serve protocol.
+ *
+ * ServeClient wraps one connection: connect + hello handshake on
+ * construction (FatalError on refusal, so version-skewed builds fail
+ * loudly before any work is enqueued), then blocking request/reply
+ * calls. One ServeClient must only be used from one thread at a time.
+ *
+ * installServeTransport() is how whole binaries go remote: it installs
+ * a harness RunTransport that lazily opens one connection per calling
+ * thread (ParallelRunner workers each get their own, so requests
+ * overlap server-side) and transparently honors `overloaded`
+ * backpressure by sleeping retry_after_ms and retrying.
+ */
+
+#ifndef WISC_SERVE_CLIENT_HH_
+#define WISC_SERVE_CLIENT_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/sockio.hh"
+#include "harness/runner.hh"
+#include "isa/program.hh"
+#include "uarch/params.hh"
+
+namespace wisc {
+namespace serve {
+
+class ServeClient
+{
+  public:
+    /** Connect to the daemon at socketPath and run the hello
+     *  handshake. FatalError if the daemon is unreachable, speaks a
+     *  different protocol version, or is a skewed build. */
+    explicit ServeClient(const std::string &socketPath);
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Execute one run remotely. Retries on `overloaded` (sleeping the
+     *  server's retry_after_ms hint); FatalError on error replies or a
+     *  dropped connection. */
+    RunOutcome run(const Program &prog, const SimParams &params);
+
+    /** Fetch the daemon's /stats document. */
+    json::Value stats();
+
+    /** Ask the daemon to exit. The daemon replies ok, then drains
+     *  in-flight work and stops. */
+    void shutdown();
+
+  private:
+    json::Value request(const json::Value &msg);
+
+    Socket sock_;
+    std::string path_;
+    std::uint64_t nextId_ = 1;
+};
+
+/**
+ * Route every cacheable run(RunRequest) in this process to the daemon
+ * at socketPath (per-thread connections; see file comment). Performs
+ * one eager handshake so misconfiguration fails immediately, not on
+ * the first worker thread.
+ */
+void installServeTransport(const std::string &socketPath);
+
+/**
+ * Spawn a `wisc-serve` daemon as a child process and wait until its
+ * socket accepts connections. Binary discovery: WISC_SERVE_BIN env
+ * var, then a `wisc-serve` sibling of /proc/self/exe, then the build
+ * layout's `../serve/wisc-serve`. Returns the child pid; FatalError if
+ * no binary is found or the daemon does not come up within ~10 s.
+ * extraArgs are appended verbatim to the command line.
+ */
+int spawnServeDaemon(const std::string &socketPath,
+                     const std::string &cacheDir,
+                     const std::vector<std::string> &extraArgs = {});
+
+/** Send shutdown (best effort) and waitpid the daemon. */
+void stopServeDaemon(int pid, const std::string &socketPath);
+
+} // namespace serve
+} // namespace wisc
+
+#endif // WISC_SERVE_CLIENT_HH_

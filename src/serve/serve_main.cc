@@ -1,0 +1,138 @@
+/**
+ * @file
+ * `wisc-serve`: the sharded-simulation daemon.
+ *
+ * Binds a unix-domain socket, serves RunRequests from any number of
+ * client processes (bench/run_matrix --serve, tests, ad-hoc tools) on
+ * one shared ParallelRunner and one shared run cache, and exits on
+ * SIGINT/SIGTERM or a client `shutdown` request — printing the final
+ * /stats document to stderr on the way out.
+ */
+
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/log.hh"
+#include "serve/server.hh"
+#include "serve/wire.hh"
+
+namespace {
+
+// The only async-signal-safe way to wake a thread blocked in accept(2)
+// is to shut the listener down; the accept loop then requests a stop.
+std::atomic<int> gListenerFd{-1};
+
+extern "C" void
+onSignal(int)
+{
+    const int fd = gListenerFd.load(std::memory_order_relaxed);
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: wisc-serve --socket PATH [options]\n\n"
+        << "  --socket PATH       unix-domain socket to listen on "
+           "(required)\n"
+        << "  --cache DIR         shared persistent run cache "
+           "(WISC_CACHE_DIR fallback)\n"
+        << "  --jobs N            simulation worker threads "
+           "(default: all cores)\n"
+        << "  --max-pending N     admission-control bound on queued+"
+           "executing runs (default 256)\n"
+        << "  --retry-after-ms N  backoff hint sent with `overloaded` "
+           "replies (default 50)\n"
+        << "  --verbose           log connections and shutdown to "
+           "stderr\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wisc;
+    using namespace wisc::serve;
+
+    ServeOptions opts;
+    if (const char *env = std::getenv("WISC_CACHE_DIR"))
+        opts.cacheDir = env;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto arg = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "wisc-serve: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            opts.socketPath = arg("--socket");
+        } else if (a == "--cache") {
+            opts.cacheDir = arg("--cache");
+        } else if (a == "--jobs") {
+            // ParallelRunner::shared() sizes itself from WISC_JOBS on
+            // first use, which hasn't happened yet.
+            ::setenv("WISC_JOBS", arg("--jobs"), 1);
+        } else if (a == "--max-pending") {
+            opts.maxPending =
+                static_cast<unsigned>(std::atoi(arg("--max-pending")));
+        } else if (a == "--retry-after-ms") {
+            opts.retryAfterMs = static_cast<unsigned>(
+                std::atoi(arg("--retry-after-ms")));
+        } else if (a == "--verbose") {
+            opts.verbose = true;
+        } else {
+            std::cerr << "wisc-serve: unknown option '" << a
+                      << "' (try --help)\n";
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::cerr << "wisc-serve: --socket PATH is required\n";
+        return 2;
+    }
+
+    try {
+        ServeServer server(opts);
+        server.start();
+        gListenerFd.store(server.listenerFd(),
+                          std::memory_order_relaxed);
+
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = onSignal;
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::signal(SIGPIPE, SIG_IGN);
+
+        std::cerr << "wisc-serve: listening on " << opts.socketPath
+                  << " (protocol v" << kProtocolVersion << ", machine "
+                  << machineFingerprint() << ")\n";
+
+        server.waitForShutdown();
+        gListenerFd.store(-1, std::memory_order_relaxed);
+        const json::Value finalStats = server.statsJson();
+        server.stop();
+        std::cerr << "wisc-serve: final stats: " << finalStats.dump(0)
+                  << "\n";
+    } catch (const FatalError &e) {
+        std::cerr << "wisc-serve: fatal: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

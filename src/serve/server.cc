@@ -1,0 +1,398 @@
+#include "serve/server.hh"
+
+#include <filesystem>
+#include <iostream>
+#include <utility>
+
+#include "common/log.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/run_cache.hh"
+#include "harness/runner.hh"
+#include "harness/json_writer.hh"
+#include "serve/wire.hh"
+#include "uarch/params_json.hh"
+
+namespace wisc {
+namespace serve {
+
+ServeServer::ServeServer(ServeOptions opts) : opts_(std::move(opts))
+{
+}
+
+ServeServer::~ServeServer()
+{
+    stop();
+}
+
+void
+ServeServer::start()
+{
+    wisc_assert(!started_, "ServeServer started twice");
+    if (opts_.socketPath.empty())
+        wisc_fatal("wisc-serve: no socket path configured");
+
+    // One shared RunService for every client: in-process memo always,
+    // persistent layer when a directory is configured.
+    svc_.setMemoize(true);
+    svc_.setCacheDir(opts_.cacheDir);
+
+    std::string error;
+    listener_ = listenUnix(opts_.socketPath, &error);
+    if (!listener_.valid())
+        wisc_fatal("wisc-serve: ", error);
+
+    startTime_ = std::chrono::steady_clock::now();
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ServeServer::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stopRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+}
+
+void
+ServeServer::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    shutdownCv_.wait(lk, [this] { return stopRequested_ || stopping_; });
+}
+
+void
+ServeServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!started_ || stopping_)
+            return;
+        stopping_ = true;
+        stopRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+
+    // Kick the accept thread out of accept(2) and join it first so no
+    // new connection can appear below.
+    listener_.shutdownBoth();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Drain: every admitted request still owns a pointer to its Conn
+    // (for the reply frame), so Conn objects must outlive the pool
+    // tasks. Wait for pending work, then unblock + join the readers.
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        drainCv_.wait(lk, [this] { return pending_ == 0; });
+        for (auto &c : conns_)
+            c->sock.shutdownBoth();
+    }
+    for (auto &c : conns_)
+        if (c->thread.joinable())
+            c->thread.join();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        conns_.clear();
+    }
+
+    listener_.close();
+    std::error_code ec;
+    std::filesystem::remove(opts_.socketPath, ec);
+    if (opts_.verbose)
+        std::cerr << "wisc-serve: stopped\n";
+}
+
+void
+ServeServer::acceptLoop()
+{
+    for (;;) {
+        Socket sock = acceptConn(listener_);
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stopping_)
+            return;
+        if (!sock.valid()) {
+            // Listener shut down without stop() — e.g. serve_main's
+            // signal handler. Hand control back to the owner.
+            stopRequested_ = true;
+            shutdownCv_.notify_all();
+            return;
+        }
+        ++connections_;
+        conns_.push_back(std::make_unique<Conn>());
+        Conn *conn = conns_.back().get();
+        conn->sock = std::move(sock);
+        conn->thread = std::thread([this, conn] { connLoop(conn); });
+        if (opts_.verbose)
+            std::cerr << "wisc-serve: client connected ("
+                      << connections_ << " total)\n";
+    }
+}
+
+void
+ServeServer::sendOn(Conn *conn, const json::Value &msg)
+{
+    const std::string payload = msg.dump(0);
+    std::lock_guard<std::mutex> lk(conn->sendMutex);
+    // A vanished client is not an error worth acting on: the outcome
+    // stays memoized for its retry.
+    (void)sendFrame(conn->sock, payload);
+}
+
+void
+ServeServer::connLoop(Conn *conn)
+{
+    bool helloDone = false;
+    std::string payload;
+    for (;;) {
+        const FrameStatus st = recvFrame(conn->sock, payload);
+        if (st == FrameStatus::Oversized) {
+            sendOn(conn, makeError(0, "oversized-frame",
+                                   "length prefix exceeds limit"));
+            break; // stream position is unrecoverable
+        }
+        if (st != FrameStatus::Ok)
+            break; // EOF / truncation / socket error: just close
+
+        json::Value msg;
+        try {
+            msg = json::Value::parse(payload);
+        } catch (const FatalError &e) {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++errors_;
+            sendOn(conn, makeError(0, "bad-json", e.what()));
+            continue; // framing is still intact; keep the connection
+        }
+        if (!dispatch(conn, msg, helloDone))
+            break;
+    }
+    conn->sock.shutdownBoth();
+}
+
+bool
+ServeServer::dispatch(Conn *conn, const json::Value &msg, bool &helloDone)
+{
+    std::string type;
+    std::uint64_t id = 0;
+    try {
+        type = msg.at("type").asString();
+        if (const json::Value *jid = msg.find("id"))
+            id = jid->asUint();
+    } catch (const FatalError &e) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++errors_;
+        }
+        sendOn(conn, makeError(id, "bad-message", e.what()));
+        return true;
+    }
+
+    if (type == "hello") {
+        try {
+            const std::uint64_t proto = msg.at("protocol").asUint();
+            const std::uint64_t machine = msg.at("machine").asUint();
+            if (proto != kProtocolVersion) {
+                std::lock_guard<std::mutex> lk(mutex_);
+                ++handshakeRejects_;
+                sendOn(conn,
+                       makeError(id, "protocol-version-mismatch",
+                                 detail::format("client speaks v", proto,
+                                                ", daemon speaks v",
+                                                kProtocolVersion)));
+                return false;
+            }
+            if (machine != machineFingerprint()) {
+                std::lock_guard<std::mutex> lk(mutex_);
+                ++handshakeRejects_;
+                sendOn(conn,
+                       makeError(id, "machine-fingerprint-mismatch",
+                                 "client and daemon builds configure "
+                                 "different machines; rebuild both from "
+                                 "one tree"));
+                return false;
+            }
+        } catch (const FatalError &e) {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++handshakeRejects_;
+            sendOn(conn, makeError(id, "bad-hello", e.what()));
+            return false;
+        }
+        json::Value reply = makeMsg("hello", id);
+        reply["protocol"] = kProtocolVersion;
+        reply["machine"] = machineFingerprint();
+        sendOn(conn, reply);
+        helloDone = true;
+        return true;
+    }
+
+    if (!helloDone) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++handshakeRejects_;
+        }
+        sendOn(conn, makeError(id, "handshake-required",
+                               "first frame must be hello"));
+        return false;
+    }
+
+    if (type == "run") {
+        handleRun(conn, msg, id);
+        return true;
+    }
+    if (type == "stats") {
+        json::Value reply = statsJson();
+        reply["type"] = "stats";
+        reply["id"] = id;
+        sendOn(conn, reply);
+        return true;
+    }
+    if (type == "shutdown") {
+        sendOn(conn, makeMsg("ok", id));
+        if (opts_.verbose)
+            std::cerr << "wisc-serve: shutdown requested\n";
+        requestStop();
+        return false;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++errors_;
+    }
+    sendOn(conn, makeError(id, "unknown-type",
+                           "unrecognized request type '" + type + "'"));
+    return true;
+}
+
+void
+ServeServer::handleRun(Conn *conn, const json::Value &msg,
+                       std::uint64_t id)
+{
+    // Decode before admission so a malformed request never occupies a
+    // pending slot.
+    auto prog = std::make_shared<Program>();
+    SimParams params;
+    try {
+        *prog = programFromJson(msg.at("program"));
+        params = simParamsFromJson(msg.at("params"));
+    } catch (const FatalError &e) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++errors_;
+        }
+        sendOn(conn, makeError(id, "bad-request", e.what()));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (stopping_ || pending_ >= opts_.maxPending) {
+            ++overloaded_;
+            json::Value reply = makeMsg("overloaded", id);
+            reply["retry_after_ms"] =
+                static_cast<std::uint64_t>(opts_.retryAfterMs);
+            sendOn(conn, reply);
+            return;
+        }
+        ++pending_;
+        ++requests_;
+    }
+
+    ParallelRunner::shared().submit([this, conn, id, prog,
+                                     params]() mutable {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++executing_;
+        }
+        json::Value reply;
+        std::uint64_t uops = 0, cycles = 0;
+        bool ok = false;
+        try {
+            const RunOutcome out = svc_.run(*prog, params);
+            reply = makeMsg("outcome", id);
+            reply["outcome"] = toJson(out);
+            uops = out.result.retiredUops;
+            cycles = out.result.cycles;
+            ok = true;
+        } catch (const std::exception &e) {
+            reply = makeError(id, "run-failed", e.what());
+        }
+        sendOn(conn, reply);
+        noteDone();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            --executing_;
+            --pending_;
+            if (ok) {
+                ++completed_;
+                servedUops_ += uops;
+                servedCycles_ += cycles;
+            } else {
+                ++errors_;
+            }
+        }
+        drainCv_.notify_all();
+    });
+}
+
+void
+ServeServer::noteDone()
+{
+}
+
+json::Value
+ServeServer::statsJson() const
+{
+    const RunCacheStats cache = svc_.stats();
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime_)
+            .count();
+
+    json::Value v = json::Value::object();
+    v["protocol"] = kProtocolVersion;
+    v["machine"] = machineFingerprint();
+    v["uptime_seconds"] = uptime;
+    v["jobs"] = ParallelRunner::shared().jobs();
+    v["max_pending"] = opts_.maxPending;
+
+    std::lock_guard<std::mutex> lk(mutex_);
+    v["connections"] = connections_;
+    v["requests"] = requests_;
+    v["completed"] = completed_;
+    v["overloaded"] = overloaded_;
+    v["errors"] = errors_;
+    v["handshake_rejects"] = handshakeRejects_;
+    v["pending"] = pending_;
+    v["executing"] = executing_;
+    v["queue_depth"] =
+        static_cast<std::uint64_t>(pending_ - executing_);
+
+    // Cross-client dedup/caching, straight off the shared RunService.
+    json::Value c = json::Value::object();
+    c["dedup_hits"] = cache.dedupHits;
+    c["disk_hits"] = cache.diskHits;
+    c["misses"] = cache.misses;
+    c["disk_writes"] = cache.diskWrites;
+    c["corrupt"] = cache.corrupt;
+    v["cache"] = std::move(c);
+    v["coalesced"] = cache.dedupHits;
+    const std::uint64_t lookups =
+        cache.dedupHits + cache.diskHits + cache.misses;
+    v["cache_hit_rate"] =
+        lookups ? static_cast<double>(cache.dedupHits + cache.diskHits) /
+                      static_cast<double>(lookups)
+                : 0.0;
+    if (!opts_.cacheDir.empty())
+        v["cache_dir"] = opts_.cacheDir;
+
+    v["served_uops"] = servedUops_;
+    v["served_cycles"] = servedCycles_;
+    v["uops_per_second"] =
+        uptime > 0 ? static_cast<double>(servedUops_) / uptime : 0.0;
+    return v;
+}
+
+} // namespace serve
+} // namespace wisc

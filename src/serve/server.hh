@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ServeServer: the long-lived simulation daemon behind `wisc-serve`.
+ *
+ * Accepts RunRequests over a unix-domain socket (wire.hh), executes
+ * them on the process-wide ParallelRunner through the process-wide
+ * RunService — so identical in-flight requests coalesce *across
+ * clients* and completed runs replay from one shared memo/disk cache —
+ * and applies admission control: at most maxPending requests admitted
+ * (executing + queued) at once; beyond that the daemon answers
+ * `overloaded` with a retry-after hint instead of queueing unboundedly.
+ *
+ * Threading: one accept thread plus one thread per connection; run
+ * execution happens on ParallelRunner::shared() workers, which write
+ * the reply frame under a per-connection send mutex (replies can
+ * complete out of order; the echoed id matches them up). stop() is
+ * idempotent and joins everything.
+ *
+ * The server object is also usable in-process (tests start one on a
+ * background thread without spawning the binary).
+ */
+
+#ifndef WISC_SERVE_SERVER_HH_
+#define WISC_SERVE_SERVER_HH_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/sockio.hh"
+#include "harness/run_cache.hh"
+
+namespace wisc {
+namespace serve {
+
+struct ServeOptions
+{
+    std::string socketPath;
+    /** Persistent run-cache directory shared by all clients ("" = only
+     *  the in-process memo layer). */
+    std::string cacheDir;
+    /** Admission-control bound: requests admitted (queued + executing)
+     *  at any instant. 0 refuses all work (useful for tests). */
+    unsigned maxPending = 256;
+    /** Hint clients wait this long before retrying after `overloaded`. */
+    unsigned retryAfterMs = 50;
+    /** Log one line per connection/shutdown to stderr. */
+    bool verbose = false;
+};
+
+class ServeServer
+{
+  public:
+    explicit ServeServer(ServeOptions opts);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /** Bind the socket and start accepting. FatalError on bind/listen
+     *  failure. */
+    void start();
+
+    /** Stop accepting, drain in-flight work, close every connection,
+     *  join all threads, and remove the socket file. Idempotent. Must
+     *  not be called from a connection thread — a remote `shutdown`
+     *  request instead calls requestStop() and the owner (serve_main,
+     *  or a test) runs stop() after waitForShutdown() returns. */
+    void stop();
+
+    /** Ask the owner to stop: wakes waitForShutdown(). Safe from any
+     *  thread, including connection threads. */
+    void requestStop();
+
+    /** Block until requestStop() or stop(). */
+    void waitForShutdown();
+
+    /** Listener fd for async-signal-safe shutdown(2) from a signal
+     *  handler (serve_main's SIGINT/SIGTERM path). -1 before start(). */
+    int listenerFd() const { return listener_.fd(); }
+
+    /** The /stats reply body (also handed to the shutdown logger). */
+    json::Value statsJson() const;
+
+    const ServeOptions &options() const { return opts_; }
+
+  private:
+    struct Conn
+    {
+        Socket sock;
+        std::mutex sendMutex;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void connLoop(Conn *conn);
+    /** Handle one parsed frame; returns false when the connection must
+     *  close (protocol violation or shutdown). */
+    bool dispatch(Conn *conn, const json::Value &msg, bool &helloDone);
+    void handleRun(Conn *conn, const json::Value &msg, std::uint64_t id);
+    void sendOn(Conn *conn, const json::Value &msg);
+    void noteDone();
+
+    ServeOptions opts_;
+    /** The daemon's own two-layer run service (not the process global):
+     *  every client's requests coalesce and cache here, and /stats
+     *  reports this daemon's counters, not whatever else the process
+     *  ran. */
+    RunService svc_;
+    Socket listener_;
+    std::thread acceptThread_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable shutdownCv_;
+    std::condition_variable drainCv_;
+    bool started_ = false;
+    bool stopping_ = false;
+    bool stopRequested_ = false;
+    std::list<std::unique_ptr<Conn>> conns_;
+
+    // Admission control + stats (all under mutex_ unless atomic).
+    unsigned pending_ = 0;   ///< admitted, not yet replied
+    unsigned executing_ = 0; ///< currently on a pool worker
+    std::uint64_t requests_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t overloaded_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t connections_ = 0;
+    std::uint64_t handshakeRejects_ = 0;
+    std::uint64_t servedUops_ = 0;
+    std::uint64_t servedCycles_ = 0;
+    std::chrono::steady_clock::time_point startTime_;
+};
+
+} // namespace serve
+} // namespace wisc
+
+#endif // WISC_SERVE_SERVER_HH_

@@ -1,0 +1,171 @@
+#include "serve/wire.hh"
+
+#include "common/hash.hh"
+#include "common/log.hh"
+#include "harness/run_cache.hh"
+#include "uarch/params.hh"
+
+namespace wisc {
+namespace serve {
+
+std::uint64_t
+machineFingerprint()
+{
+    Hasher h;
+    h.str("wisc.machine.v1");
+    h.u32(kProtocolVersion);
+    // The default-SimParams fingerprint covers the whole machine-model
+    // configuration surface: any added/removed/reordered field (or a
+    // fingerprint-scheme change) moves it, which is exactly the "skewed
+    // build" condition the handshake must catch.
+    h.u64(SimParams{}.fingerprint());
+    h.u32(runCacheFormatVersion());
+    return h.digest();
+}
+
+json::Value
+programToJson(const Program &p)
+{
+    json::Value v = json::Value::object();
+    v["v"] = 1u;
+    v["entry"] = p.entry();
+
+    // One instruction per tuple, fields in Program::fingerprint()
+    // order: [op,qp,rd,rs1,rs2,pd,pd2,ps,ps2,imm,target,wish,unc].
+    json::Value code = json::Value::array();
+    for (const Instruction &inst : p.code()) {
+        json::Value t = json::Value::array();
+        t.push(static_cast<std::uint64_t>(inst.op));
+        t.push(static_cast<std::uint64_t>(inst.qp));
+        t.push(static_cast<std::uint64_t>(inst.rd));
+        t.push(static_cast<std::uint64_t>(inst.rs1));
+        t.push(static_cast<std::uint64_t>(inst.rs2));
+        t.push(static_cast<std::uint64_t>(inst.pd));
+        t.push(static_cast<std::uint64_t>(inst.pd2));
+        t.push(static_cast<std::uint64_t>(inst.ps));
+        t.push(static_cast<std::uint64_t>(inst.ps2));
+        t.push(static_cast<std::int64_t>(inst.imm));
+        t.push(static_cast<std::uint64_t>(inst.target));
+        t.push(static_cast<std::uint64_t>(inst.wish));
+        t.push(inst.unc);
+        code.push(std::move(t));
+    }
+    v["code"] = std::move(code);
+
+    json::Value data = json::Value::array();
+    for (const DataSegment &seg : p.data()) {
+        json::Value s = json::Value::object();
+        s["base"] = static_cast<std::uint64_t>(seg.base);
+        json::Value words = json::Value::array();
+        for (Word w : seg.words)
+            words.push(static_cast<std::int64_t>(w));
+        s["words"] = std::move(words);
+        data.push(std::move(s));
+    }
+    v["data"] = std::move(data);
+    return v;
+}
+
+namespace {
+
+std::uint8_t
+u8Field(const json::Value &t, std::size_t i, const char *what,
+        std::uint64_t max)
+{
+    const std::uint64_t v = t.at(i).asUint();
+    if (v > max)
+        wisc_fatal("program JSON: instruction field '", what,
+                   "' value ", v, " out of range (max ", max, ")");
+    return static_cast<std::uint8_t>(v);
+}
+
+} // namespace
+
+Program
+programFromJson(const json::Value &v)
+{
+    if (!v.isObject())
+        wisc_fatal("program JSON: not an object");
+    if (v.at("v").asUint() != 1)
+        wisc_fatal("program JSON: unsupported encoding version ",
+                   v.at("v").asUint());
+
+    Program p;
+    const json::Value &code = v.at("code");
+    if (!code.isArray())
+        wisc_fatal("program JSON: 'code' is not an array");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const json::Value &t = code.at(i);
+        if (!t.isArray() || t.size() != 13)
+            wisc_fatal("program JSON: instruction ", i,
+                       " is not a 13-field tuple");
+        Instruction inst;
+        inst.op = static_cast<Opcode>(
+            u8Field(t, 0, "op",
+                    static_cast<std::uint64_t>(Opcode::NumOpcodes) - 1));
+        inst.qp = u8Field(t, 1, "qp", 0xff);
+        inst.rd = u8Field(t, 2, "rd", 0xff);
+        inst.rs1 = u8Field(t, 3, "rs1", 0xff);
+        inst.rs2 = u8Field(t, 4, "rs2", 0xff);
+        inst.pd = u8Field(t, 5, "pd", 0xff);
+        inst.pd2 = u8Field(t, 6, "pd2", 0xff);
+        inst.ps = u8Field(t, 7, "ps", 0xff);
+        inst.ps2 = u8Field(t, 8, "ps2", 0xff);
+        inst.imm = static_cast<Word>(t.at(9).asInt());
+        {
+            const std::uint64_t target = t.at(10).asUint();
+            if (target > 0xffffffffull)
+                wisc_fatal("program JSON: instruction ", i,
+                           " target out of range");
+            inst.target = static_cast<std::uint32_t>(target);
+        }
+        inst.wish = static_cast<WishKind>(
+            u8Field(t, 11, "wish",
+                    static_cast<std::uint64_t>(WishKind::Loop)));
+        inst.unc = t.at(12).asBool();
+        p.append(inst);
+    }
+
+    const json::Value &data = v.at("data");
+    if (!data.isArray())
+        wisc_fatal("program JSON: 'data' is not an array");
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const json::Value &s = data.at(i);
+        std::vector<Word> words;
+        const json::Value &jw = s.at("words");
+        words.reserve(jw.size());
+        for (std::size_t k = 0; k < jw.size(); ++k)
+            words.push_back(static_cast<Word>(jw.at(k).asInt()));
+        p.addData(static_cast<Addr>(s.at("base").asUint()),
+                  std::move(words));
+    }
+
+    const std::uint64_t entry = v.at("entry").asUint();
+    if (entry >= p.size())
+        wisc_fatal("program JSON: entry ", entry, " out of range (",
+                   p.size(), " instructions)");
+    p.setEntry(static_cast<std::uint32_t>(entry));
+    p.validate();
+    return p;
+}
+
+json::Value
+makeMsg(const char *type, std::uint64_t id)
+{
+    json::Value v = json::Value::object();
+    v["type"] = type;
+    v["id"] = id;
+    return v;
+}
+
+json::Value
+makeError(std::uint64_t id, const char *error, const std::string &detail)
+{
+    json::Value v = makeMsg("error", id);
+    v["error"] = error;
+    v["detail"] = detail;
+    return v;
+}
+
+} // namespace serve
+} // namespace wisc

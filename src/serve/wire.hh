@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The wisc-serve wire protocol: versioned, length-prefixed JSON frames
+ * over a unix-domain stream socket (framing: common/sockio.hh).
+ *
+ * Every message is one JSON object with a "type" member. The protocol
+ * is strictly request/reply from the client's point of view, and every
+ * request carries a client-chosen "id" that the reply echoes.
+ *
+ * Handshake — first frames on every connection:
+ *
+ *   C: { "type":"hello", "protocol":u32, "machine":u64 }
+ *   S: { "type":"hello", "protocol":u32, "machine":u64 }   (accepted)
+ *      { "type":"error", "error":..., "detail":... }       (rejected)
+ *
+ * `protocol` is kProtocolVersion; `machine` is machineFingerprint(), a
+ * digest over everything that must match for a replayed outcome to
+ * mean the same thing on both sides: the default-SimParams fingerprint
+ * (so a build whose SimParams struct drifted — new fields, reordered
+ * enums — fails loudly), the run-cache entry format version, and the
+ * wire schema itself. A stale client against a new daemon (or two
+ * skewed builds sharing one daemon) is an error reply, never a wrong
+ * answer.
+ *
+ * Requests after the handshake:
+ *
+ *   { "type":"run", "id":u64,
+ *     "program": <Program doc>, "params": <SimParams doc> }
+ *     -> { "type":"outcome", "id":u64, "outcome": <RunOutcome doc> }
+ *      | { "type":"overloaded", "id":u64, "retry_after_ms":u64 }
+ *      | { "type":"error", "id":u64, "error":..., "detail":... }
+ *
+ *   { "type":"stats", "id":u64 }
+ *     -> { "type":"stats", "id":u64, ... } (see ServeServer::statsJson)
+ *
+ *   { "type":"shutdown", "id":u64 }
+ *     -> { "type":"ok", "id":u64 }, then the daemon exits
+ *
+ * Document encodings: SimParams uses the canonical codec
+ * (uarch/params_json.hh), RunOutcome the `--json` emission schema
+ * (harness/json_writer.hh) — the wire deliberately adds no third
+ * encoding. Program is defined here: entry point, instruction image as
+ * flat field tuples in fingerprint order, and data segments;
+ * programFromJson(programToJson(p)).fingerprint() == p.fingerprint().
+ */
+
+#ifndef WISC_SERVE_WIRE_HH_
+#define WISC_SERVE_WIRE_HH_
+
+#include <cstdint>
+
+#include "common/json.hh"
+#include "isa/program.hh"
+
+namespace wisc {
+namespace serve {
+
+/** Bumped on any incompatible change to the frame or document shapes. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Build/configuration fingerprint exchanged in the hello handshake. */
+std::uint64_t machineFingerprint();
+
+/** Program <-> JSON (fingerprint-preserving; labels are dropped — they
+ *  are listing metadata the core never reads). */
+json::Value programToJson(const Program &p);
+
+/** Strict inverse; FatalError on malformed structure or out-of-range
+ *  enum/opcode values. The result passes Program::validate(). */
+Program programFromJson(const json::Value &v);
+
+// ---- message helpers --------------------------------------------------
+
+/** An { "type": t, "id": id } skeleton. */
+json::Value makeMsg(const char *type, std::uint64_t id);
+
+/** An error reply: { "type":"error", "id", "error", "detail" }. */
+json::Value makeError(std::uint64_t id, const char *error,
+                      const std::string &detail);
+
+} // namespace serve
+} // namespace wisc
+
+#endif // WISC_SERVE_WIRE_HH_

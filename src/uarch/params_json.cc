@@ -1,0 +1,363 @@
+#include "uarch/params_json.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace wisc {
+
+namespace {
+
+// ---- enum name tables -------------------------------------------------
+
+struct EnumName
+{
+    std::uint8_t value;
+    const char *name;
+};
+
+constexpr EnumName kPredictorNames[] = {
+    {static_cast<std::uint8_t>(PredictorKind::Hybrid), "Hybrid"},
+    {static_cast<std::uint8_t>(PredictorKind::Bimodal), "Bimodal"},
+    {static_cast<std::uint8_t>(PredictorKind::TwoLevel), "TwoLevel"},
+    {static_cast<std::uint8_t>(PredictorKind::Tage), "Tage"},
+};
+
+constexpr EnumName kConfKindNames[] = {
+    {static_cast<std::uint8_t>(ConfKind::Jrs), "Jrs"},
+    {static_cast<std::uint8_t>(ConfKind::UpDown), "UpDown"},
+    {static_cast<std::uint8_t>(ConfKind::Tage), "Tage"},
+};
+
+constexpr EnumName kPredMechNames[] = {
+    {static_cast<std::uint8_t>(PredMechanism::CStyle), "CStyle"},
+    {static_cast<std::uint8_t>(PredMechanism::SelectUop), "SelectUop"},
+};
+
+template <std::size_t N>
+const char *
+enumName(const EnumName (&table)[N], std::uint8_t v)
+{
+    for (const EnumName &e : table)
+        if (e.value == v)
+            return e.name;
+    wisc_fatal("SimParams JSON: enum value ", unsigned(v),
+               " has no name (table out of date?)");
+}
+
+template <std::size_t N>
+std::uint8_t
+enumValue(const EnumName (&table)[N], const std::string &name,
+          const char *field)
+{
+    for (const EnumName &e : table)
+        if (name == e.name)
+            return e.value;
+    wisc_fatal("SimParams JSON: '", name, "' is not a valid ", field);
+}
+
+// ---- strict object reader ---------------------------------------------
+
+/** Wraps one JSON object; every member must be consumed exactly once.
+ *  Missing fields and leftover (unknown) keys are fatal, so a document
+ *  produced by a build with a different SimParams shape cannot decode
+ *  into the wrong machine silently. */
+class ObjReader
+{
+  public:
+    ObjReader(const json::Value &v, const char *what) : v_(v), what_(what)
+    {
+        if (!v.isObject())
+            wisc_fatal("SimParams JSON: ", what, " is not an object");
+    }
+
+    const json::Value &
+    take(const char *key)
+    {
+        const json::Value *m = v_.find(key);
+        if (!m)
+            wisc_fatal("SimParams JSON: ", what_, " is missing field '",
+                       key, "' (version-skewed document?)");
+        taken_.push_back(key);
+        return *m;
+    }
+
+    unsigned u(const char *key) // NOLINT: u32-sized fields
+    {
+        return static_cast<unsigned>(take(key).asUint());
+    }
+    std::uint64_t u64(const char *key) { return take(key).asUint(); }
+    bool b(const char *key) { return take(key).asBool(); }
+    std::string str(const char *key) { return take(key).asString(); }
+
+    /** Call after every field was taken; leftover keys are fatal. */
+    void
+    finish() const
+    {
+        if (taken_.size() == v_.size())
+            return;
+        for (const auto &kv : v_.members()) {
+            bool seen = false;
+            for (const char *k : taken_)
+                if (kv.first == k)
+                    seen = true;
+            if (!seen)
+                wisc_fatal("SimParams JSON: ", what_,
+                           " has unknown field '", kv.first,
+                           "' (version-skewed document?)");
+        }
+    }
+
+  private:
+    const json::Value &v_;
+    const char *what_;
+    std::vector<const char *> taken_;
+};
+
+json::Value
+cacheToJson(const CacheParams &c)
+{
+    json::Value v = json::Value::object();
+    v["sizeBytes"] = c.sizeBytes;
+    v["ways"] = c.ways;
+    v["lineBytes"] = c.lineBytes;
+    v["hitLatency"] = c.hitLatency;
+    return v;
+}
+
+CacheParams
+cacheFromJson(const json::Value &v, const char *what)
+{
+    ObjReader r(v, what);
+    CacheParams c;
+    c.sizeBytes = r.u("sizeBytes");
+    c.ways = r.u("ways");
+    c.lineBytes = r.u("lineBytes");
+    c.hitLatency = r.u("hitLatency");
+    r.finish();
+    return c;
+}
+
+} // namespace
+
+json::Value
+simParamsToJson(const SimParams &p)
+{
+    // The same growth guards fingerprint() carries: adding a field to
+    // any of these structs trips the assert until this codec (and the
+    // round-trip test) learns about it.
+    static_assert(sizeof(CacheParams) == 16,
+                  "CacheParams changed: extend simParamsToJson/FromJson "
+                  "and the JSON round-trip test");
+    static_assert(sizeof(SimParams::SamplingParams) == 40,
+                  "SamplingParams changed: extend simParamsToJson/"
+                  "FromJson and the JSON round-trip test");
+    static_assert(sizeof(OracleKnobs) == 4,
+                  "OracleKnobs changed: extend simParamsToJson/FromJson "
+                  "and the JSON round-trip test");
+    static_assert(sizeof(SimParams) == 328,
+                  "SimParams changed: extend simParamsToJson/FromJson "
+                  "and the JSON round-trip test");
+
+    json::Value v = json::Value::object();
+    v["fetchWidth"] = p.fetchWidth;
+    v["decodeWidth"] = p.decodeWidth;
+    v["issueWidth"] = p.issueWidth;
+    v["retireWidth"] = p.retireWidth;
+    v["maxCondBrPerFetch"] = p.maxCondBrPerFetch;
+    v["memPortsPerCycle"] = p.memPortsPerCycle;
+
+    v["robSize"] = p.robSize;
+    v["iqSize"] = p.iqSize;
+    v["lsqSize"] = p.lsqSize;
+    v["pipelineStages"] = p.pipelineStages;
+
+    v["il1"] = cacheToJson(p.il1);
+    v["dl1"] = cacheToJson(p.dl1);
+    v["l2"] = cacheToJson(p.l2);
+    v["memLatency"] = p.memLatency;
+    v["maxOutstandingMisses"] = p.maxOutstandingMisses;
+
+    v["gshareEntries"] = p.gshareEntries;
+    v["pasHistEntries"] = p.pasHistEntries;
+    v["pasPatternEntries"] = p.pasPatternEntries;
+    v["pasHistBits"] = p.pasHistBits;
+    v["selectorEntries"] = p.selectorEntries;
+    v["btbSets"] = p.btbSets;
+    v["btbWays"] = p.btbWays;
+    v["rasEntries"] = p.rasEntries;
+    v["indirectEntries"] = p.indirectEntries;
+    v["indirectHistBits"] = p.indirectHistBits;
+
+    v["predictor"] =
+        enumName(kPredictorNames,
+                 static_cast<std::uint8_t>(p.predictor));
+    v["bimodalEntries"] = p.bimodalEntries;
+    v["twoLevelEntries"] = p.twoLevelEntries;
+    v["twoLevelHistBits"] = p.twoLevelHistBits;
+    v["tageTables"] = p.tageTables;
+    v["tageEntriesLog2"] = p.tageEntriesLog2;
+    v["tageTagBits"] = p.tageTagBits;
+    v["tageMinHist"] = p.tageMinHist;
+    v["tageMaxHist"] = p.tageMaxHist;
+    v["tageBaseEntriesLog2"] = p.tageBaseEntriesLog2;
+    v["tageUsefulBits"] = p.tageUsefulBits;
+    v["tageResetPeriod"] = p.tageResetPeriod;
+
+    v["confSets"] = p.confSets;
+    v["confWays"] = p.confWays;
+    v["confHistBits"] = p.confHistBits;
+    v["confCtrBits"] = p.confCtrBits;
+    v["confThreshold"] = p.confThreshold;
+    v["confTagBits"] = p.confTagBits;
+    v["confMissIsHigh"] = p.confMissIsHigh;
+
+    v["confKind"] =
+        enumName(kConfKindNames, static_cast<std::uint8_t>(p.confKind));
+    v["udConfEntries"] = p.udConfEntries;
+    v["udConfHistBits"] = p.udConfHistBits;
+    v["udConfMax"] = p.udConfMax;
+    v["udConfThreshold"] = p.udConfThreshold;
+    v["udConfDownStep"] = p.udConfDownStep;
+
+    v["latAlu"] = p.latAlu;
+    v["latMul"] = p.latMul;
+    v["latDiv"] = p.latDiv;
+    v["latBranch"] = p.latBranch;
+    v["latStoreForward"] = p.latStoreForward;
+
+    v["predMech"] =
+        enumName(kPredMechNames, static_cast<std::uint8_t>(p.predMech));
+    v["wishEnabled"] = p.wishEnabled;
+    v["wishLoopBias"] = p.wishLoopBias;
+
+    json::Value oracle = json::Value::object();
+    oracle["noDepend"] = p.oracle.noDepend;
+    oracle["noFetch"] = p.oracle.noFetch;
+    oracle["perfectCBP"] = p.oracle.perfectCBP;
+    oracle["perfectConfidence"] = p.oracle.perfectConfidence;
+    v["oracle"] = std::move(oracle);
+
+    json::Value sampling = json::Value::object();
+    sampling["enabled"] = p.sampling.enabled;
+    sampling["periodUops"] = p.sampling.periodUops;
+    sampling["warmupUops"] = p.sampling.warmupUops;
+    sampling["measureUops"] = p.sampling.measureUops;
+    sampling["prefixUops"] = p.sampling.prefixUops;
+    v["sampling"] = std::move(sampling);
+
+    v["maxCycles"] = p.maxCycles;
+    v["maxRetired"] = p.maxRetired;
+    v["checkFinalState"] = p.checkFinalState;
+    v["collectAttribution"] = p.collectAttribution;
+    v["collectBranchProfile"] = p.collectBranchProfile;
+    v["pollScheduler"] = p.pollScheduler;
+    return v;
+}
+
+SimParams
+simParamsFromJson(const json::Value &v)
+{
+    ObjReader r(v, "SimParams");
+    SimParams p;
+
+    p.fetchWidth = r.u("fetchWidth");
+    p.decodeWidth = r.u("decodeWidth");
+    p.issueWidth = r.u("issueWidth");
+    p.retireWidth = r.u("retireWidth");
+    p.maxCondBrPerFetch = r.u("maxCondBrPerFetch");
+    p.memPortsPerCycle = r.u("memPortsPerCycle");
+
+    p.robSize = r.u("robSize");
+    p.iqSize = r.u("iqSize");
+    p.lsqSize = r.u("lsqSize");
+    p.pipelineStages = r.u("pipelineStages");
+
+    p.il1 = cacheFromJson(r.take("il1"), "il1");
+    p.dl1 = cacheFromJson(r.take("dl1"), "dl1");
+    p.l2 = cacheFromJson(r.take("l2"), "l2");
+    p.memLatency = r.u("memLatency");
+    p.maxOutstandingMisses = r.u("maxOutstandingMisses");
+
+    p.gshareEntries = r.u("gshareEntries");
+    p.pasHistEntries = r.u("pasHistEntries");
+    p.pasPatternEntries = r.u("pasPatternEntries");
+    p.pasHistBits = r.u("pasHistBits");
+    p.selectorEntries = r.u("selectorEntries");
+    p.btbSets = r.u("btbSets");
+    p.btbWays = r.u("btbWays");
+    p.rasEntries = r.u("rasEntries");
+    p.indirectEntries = r.u("indirectEntries");
+    p.indirectHistBits = r.u("indirectHistBits");
+
+    p.predictor = static_cast<PredictorKind>(
+        enumValue(kPredictorNames, r.str("predictor"), "predictor"));
+    p.bimodalEntries = r.u("bimodalEntries");
+    p.twoLevelEntries = r.u("twoLevelEntries");
+    p.twoLevelHistBits = r.u("twoLevelHistBits");
+    p.tageTables = r.u("tageTables");
+    p.tageEntriesLog2 = r.u("tageEntriesLog2");
+    p.tageTagBits = r.u("tageTagBits");
+    p.tageMinHist = r.u("tageMinHist");
+    p.tageMaxHist = r.u("tageMaxHist");
+    p.tageBaseEntriesLog2 = r.u("tageBaseEntriesLog2");
+    p.tageUsefulBits = r.u("tageUsefulBits");
+    p.tageResetPeriod = r.u("tageResetPeriod");
+
+    p.confSets = r.u("confSets");
+    p.confWays = r.u("confWays");
+    p.confHistBits = r.u("confHistBits");
+    p.confCtrBits = r.u("confCtrBits");
+    p.confThreshold = r.u("confThreshold");
+    p.confTagBits = r.u("confTagBits");
+    p.confMissIsHigh = r.b("confMissIsHigh");
+
+    p.confKind = static_cast<ConfKind>(
+        enumValue(kConfKindNames, r.str("confKind"), "confKind"));
+    p.udConfEntries = r.u("udConfEntries");
+    p.udConfHistBits = r.u("udConfHistBits");
+    p.udConfMax = r.u("udConfMax");
+    p.udConfThreshold = r.u("udConfThreshold");
+    p.udConfDownStep = r.u("udConfDownStep");
+
+    p.latAlu = r.u("latAlu");
+    p.latMul = r.u("latMul");
+    p.latDiv = r.u("latDiv");
+    p.latBranch = r.u("latBranch");
+    p.latStoreForward = r.u("latStoreForward");
+
+    p.predMech = static_cast<PredMechanism>(
+        enumValue(kPredMechNames, r.str("predMech"), "predMech"));
+    p.wishEnabled = r.b("wishEnabled");
+    p.wishLoopBias = r.b("wishLoopBias");
+
+    {
+        ObjReader ro(r.take("oracle"), "oracle");
+        p.oracle.noDepend = ro.b("noDepend");
+        p.oracle.noFetch = ro.b("noFetch");
+        p.oracle.perfectCBP = ro.b("perfectCBP");
+        p.oracle.perfectConfidence = ro.b("perfectConfidence");
+        ro.finish();
+    }
+    {
+        ObjReader rs(r.take("sampling"), "sampling");
+        p.sampling.enabled = rs.b("enabled");
+        p.sampling.periodUops = rs.u64("periodUops");
+        p.sampling.warmupUops = rs.u64("warmupUops");
+        p.sampling.measureUops = rs.u64("measureUops");
+        p.sampling.prefixUops = rs.u64("prefixUops");
+        rs.finish();
+    }
+
+    p.maxCycles = r.u64("maxCycles");
+    p.maxRetired = r.u64("maxRetired");
+    p.checkFinalState = r.b("checkFinalState");
+    p.collectAttribution = r.b("collectAttribution");
+    p.collectBranchProfile = r.b("collectBranchProfile");
+    p.pollScheduler = r.b("pollScheduler");
+
+    r.finish();
+    return p;
+}
+
+} // namespace wisc

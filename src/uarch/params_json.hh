@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Canonical JSON encoding of SimParams — the one serialization shared
+ * by the wisc-serve wire schema, experiment JSON emission, and tooling
+ * that needs to reconstruct a machine configuration outside the process
+ * that built it.
+ *
+ * Keys are the C++ field names, nested exactly like the struct
+ * (il1/dl1/l2, oracle, sampling), enums as their symbolic names
+ * ("Hybrid", "Jrs", "CStyle", ...). The decoder is strict both ways:
+ * every field must be present (a document from a build whose SimParams
+ * lost a field fails loudly) and unknown keys are fatal (a document
+ * from a build that *grew* a field cannot be silently truncated into a
+ * different machine). Like fingerprint(), the encoder carries sizeof
+ * static_asserts so SimParams cannot grow a field without this codec
+ * being extended, and the round-trip test pins
+ * fingerprint(decode(encode(p))) == fingerprint(p) per perturbed field.
+ */
+
+#ifndef WISC_UARCH_PARAMS_JSON_HH_
+#define WISC_UARCH_PARAMS_JSON_HH_
+
+#include "common/json.hh"
+#include "uarch/params.hh"
+
+namespace wisc {
+
+/** Encode every fingerprinted field. */
+json::Value simParamsToJson(const SimParams &p);
+
+/** Strict inverse; FatalError on a missing field, an unknown key, an
+ *  out-of-range enum name, or a kind mismatch. */
+SimParams simParamsFromJson(const json::Value &v);
+
+} // namespace wisc
+
+#endif // WISC_UARCH_PARAMS_JSON_HH_

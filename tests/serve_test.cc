@@ -1,0 +1,585 @@
+/**
+ * @file
+ * wisc-serve test suite (ctest label: serve-tsan — matched by both
+ * `ctest -L serve` and the sanitizer jobs' `-L tsan`; configure with
+ * -DWISC_SANITIZE=thread / address,undefined to run it instrumented).
+ *
+ * Covers, against an in-process ServeServer:
+ *  - wire-schema round trips: Program and SimParams survive JSON with
+ *    their fingerprints intact, RunOutcome bit-identically;
+ *  - the hello handshake: version skew, machine skew, and
+ *    run-before-hello are clean error replies;
+ *  - protocol robustness: truncated frames, oversized length prefixes,
+ *    garbage JSON, unknown types, and a deterministic random-bytes fuzz
+ *    loop — the daemon must answer with error frames or close the
+ *    connection, never crash or wedge;
+ *  - admission control: a full daemon answers `overloaded` with a
+ *    retry-after hint;
+ *  - the multi-process contention test: N forked client processes share
+ *    one daemon and one cache directory, every client observes
+ *    bit-identical outcomes (equal to a local cache-bypass simulation),
+ *    and /stats proves cross-client coalescing happened.
+ *
+ * This binary has a custom main: re-exec'd with --serve-shard-client it
+ * becomes a shard client (fork+exec, because fork alone is unsafe in a
+ * threaded gtest process).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/log.hh"
+#include "common/sockio.hh"
+#include "harness/json_writer.hh"
+#include "harness/run_cache.hh"
+#include "harness/runner.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/wire.hh"
+#include "uarch/params_json.hh"
+#include "workloads/workload.hh"
+
+namespace wisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh temp directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        dir_ = fs::temp_directory_path() /
+               ("wisc_serve_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++));
+        fs::create_directories(dir_);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    std::string path() const { return dir_.string(); }
+
+  private:
+    static inline int counter_ = 0;
+    fs::path dir_;
+};
+
+std::string
+freshSocketPath()
+{
+    static int counter = 0;
+    return (fs::temp_directory_path() /
+            ("wisc_serve_sock_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++) + ".sock"))
+        .string();
+}
+
+/** Order-insensitive-free digest of everything a RunOutcome carries
+ *  (maps are ordered, so iteration is deterministic). */
+std::uint64_t
+outcomeDigest(const RunOutcome &o)
+{
+    Hasher h;
+    h.u64(o.result.cycles);
+    h.u64(o.result.retiredUops);
+    h.u64(static_cast<std::uint64_t>(o.result.resultReg));
+    h.u64(o.result.memFingerprint);
+    h.u32(o.result.halted ? 1 : 0);
+    for (const auto &kv : o.stats) {
+        h.str(kv.first);
+        h.u64(kv.second);
+    }
+    for (const auto &kv : o.hists) {
+        h.str(kv.first);
+        h.u64(kv.second.count);
+        for (std::uint64_t b : kv.second.buckets)
+            h.u64(b);
+    }
+    for (const auto &kv : o.tables) {
+        h.str(kv.first);
+        for (const auto &c : kv.second.columns)
+            h.str(c);
+        for (const auto &row : kv.second.rows) {
+            h.u64(row.first);
+            for (std::uint64_t x : row.second)
+                h.u64(x);
+        }
+    }
+    return h.digest();
+}
+
+/** The request set every shard client runs: distinct real workload
+ *  programs, identical across clients so their requests collide. */
+std::vector<Program>
+shardPrograms()
+{
+    CompiledWorkload w = compileWorkload("mcf");
+    std::vector<Program> progs;
+    progs.push_back(programFor(w, BinaryVariant::Normal, InputSet::A));
+    progs.push_back(
+        programFor(w, BinaryVariant::WishJumpJoin, InputSet::A));
+    progs.push_back(programFor(w, BinaryVariant::Normal, InputSet::C));
+    return progs;
+}
+
+/** One raw framed request/reply, below the ServeClient layer (so tests
+ *  can speak malformed protocol on purpose). */
+json::Value
+rawRequest(const Socket &sock, const json::Value &msg)
+{
+    EXPECT_TRUE(sendFrame(sock, msg.dump(0)));
+    std::string payload;
+    EXPECT_EQ(recvFrame(sock, payload), FrameStatus::Ok);
+    return json::Value::parse(payload);
+}
+
+Socket
+rawConnect(const std::string &path)
+{
+    std::string error;
+    Socket s = connectUnix(path, &error);
+    EXPECT_TRUE(s.valid()) << error;
+    return s;
+}
+
+/** Connect + valid hello on a raw socket. */
+Socket
+rawHandshake(const std::string &path)
+{
+    Socket s = rawConnect(path);
+    json::Value hello = serve::makeMsg("hello", 1);
+    hello["protocol"] = serve::kProtocolVersion;
+    hello["machine"] = serve::machineFingerprint();
+    const json::Value reply = rawRequest(s, hello);
+    EXPECT_EQ(reply.at("type").asString(), "hello");
+    return s;
+}
+
+// ---- wire-schema round trips ------------------------------------------
+
+TEST(ServeWireTest, ProgramRoundTripPreservesFingerprint)
+{
+    for (const Program &p : shardPrograms()) {
+        const json::Value doc = serve::programToJson(p);
+        // Through text, like the real wire.
+        const Program back =
+            serve::programFromJson(json::Value::parse(doc.dump(0)));
+        EXPECT_EQ(back.fingerprint(), p.fingerprint());
+        EXPECT_EQ(back.size(), p.size());
+        EXPECT_EQ(back.entry(), p.entry());
+    }
+}
+
+TEST(ServeWireTest, ProgramDecodeRejectsGarbage)
+{
+    const Program p = shardPrograms().front();
+    json::Value doc = serve::programToJson(p);
+    doc["v"] = 99u;
+    EXPECT_THROW(serve::programFromJson(doc), FatalError);
+
+    doc = serve::programToJson(p);
+    doc["entry"] = std::uint64_t{1u << 30}; // out of range
+    EXPECT_THROW(serve::programFromJson(doc), FatalError);
+
+    EXPECT_THROW(serve::programFromJson(json::Value(7u)), FatalError);
+}
+
+TEST(ServeWireTest, SimParamsRoundTripPreservesFingerprint)
+{
+    SimParams p;
+    EXPECT_EQ(simParamsFromJson(simParamsToJson(p)).fingerprint(),
+              p.fingerprint());
+
+    // Perturb a scattering of fields of every flavor the codec handles:
+    // plain unsigned, bool, enum, nested cache/oracle/sampling.
+    p.robSize = 64;
+    p.fetchWidth = 4;
+    p.confThreshold = 15;
+    p.predictor = PredictorKind::Tage;
+    p.confKind = ConfKind::UpDown;
+    p.predMech = PredMechanism::SelectUop;
+    p.oracle.perfectCBP = true;
+    p.il1.sizeBytes = 32 * 1024;
+    p.sampling.enabled = true;
+    p.sampling.measureUops = 12345;
+    const SimParams q =
+        simParamsFromJson(json::Value::parse(simParamsToJson(p).dump(2)));
+    EXPECT_EQ(q.fingerprint(), p.fingerprint());
+    EXPECT_EQ(q.robSize, 64u);
+    EXPECT_EQ(q.predictor, PredictorKind::Tage);
+    EXPECT_TRUE(q.sampling.enabled);
+}
+
+TEST(ServeWireTest, SimParamsDecodeIsStrictBothWays)
+{
+    json::Value doc = simParamsToJson(SimParams{});
+    doc["not_a_knob"] = 1u; // unknown key: version-skewed document
+    EXPECT_THROW(simParamsFromJson(doc), FatalError);
+
+    // A document missing a field (here: a build that lost robSize)
+    // must fail loudly, not default-fill a different machine.
+    const json::Value full = simParamsToJson(SimParams{});
+    json::Value partial = json::Value::object();
+    for (const auto &kv : full.members())
+        if (kv.first != "robSize")
+            partial[kv.first] = kv.second;
+    EXPECT_THROW(simParamsFromJson(partial), FatalError);
+}
+
+TEST(ServeWireTest, RunOutcomeRoundTripsBitIdentically)
+{
+    CompiledWorkload w = compileWorkload("mcf");
+    SimParams params;
+    params.collectBranchProfile = true; // exercise the tables section
+    const RunOutcome out = captureRun(
+        programFor(w, BinaryVariant::Normal, InputSet::A), params, {});
+    const RunOutcome back =
+        runOutcomeFromJson(json::Value::parse(toJson(out).dump(0)));
+    EXPECT_EQ(outcomeDigest(back), outcomeDigest(out));
+    EXPECT_FALSE(out.tables.empty());
+}
+
+// ---- handshake and protocol robustness --------------------------------
+
+class ServeServerTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(unsigned maxPending = 256,
+                const std::string &cacheDir = {})
+    {
+        serve::ServeOptions opts;
+        opts.socketPath = freshSocketPath();
+        opts.cacheDir = cacheDir;
+        opts.maxPending = maxPending;
+        opts.retryAfterMs = 1;
+        server_ = std::make_unique<serve::ServeServer>(opts);
+        server_->start();
+    }
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+    }
+    const std::string &socket() const { return server_->options().socketPath; }
+
+    std::unique_ptr<serve::ServeServer> server_;
+};
+
+TEST_F(ServeServerTest, HandshakeRejectsProtocolSkew)
+{
+    startServer();
+    Socket s = rawConnect(socket());
+    json::Value hello = serve::makeMsg("hello", 1);
+    hello["protocol"] = serve::kProtocolVersion + 1;
+    hello["machine"] = serve::machineFingerprint();
+    const json::Value reply = rawRequest(s, hello);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "protocol-version-mismatch");
+    // The daemon hangs up on a failed handshake.
+    std::string payload;
+    EXPECT_NE(recvFrame(s, payload), FrameStatus::Ok);
+    EXPECT_EQ(server_->statsJson().at("handshake_rejects").asUint(), 1u);
+}
+
+TEST_F(ServeServerTest, HandshakeRejectsMachineSkew)
+{
+    startServer();
+    Socket s = rawConnect(socket());
+    json::Value hello = serve::makeMsg("hello", 1);
+    hello["protocol"] = serve::kProtocolVersion;
+    hello["machine"] = serve::machineFingerprint() ^ 1;
+    const json::Value reply = rawRequest(s, hello);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(),
+              "machine-fingerprint-mismatch");
+}
+
+TEST_F(ServeServerTest, RequestBeforeHelloIsRejected)
+{
+    startServer();
+    Socket s = rawConnect(socket());
+    const json::Value reply = rawRequest(s, serve::makeMsg("stats", 7));
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "handshake-required");
+    EXPECT_EQ(reply.at("id").asUint(), 7u);
+}
+
+TEST_F(ServeServerTest, TruncatedFramesNeverWedgeTheDaemon)
+{
+    startServer();
+    {
+        // EOF mid-length-prefix.
+        Socket s = rawConnect(socket());
+        const char twoBytes[2] = {0x10, 0x00};
+        ASSERT_EQ(::send(s.fd(), twoBytes, 2, 0), 2);
+    }
+    {
+        // Length prefix promising more payload than ever arrives.
+        Socket s = rawConnect(socket());
+        const unsigned char frame[8] = {0x40, 0, 0, 0, 'a', 'b', 'c', 'd'};
+        ASSERT_EQ(::send(s.fd(), frame, 8, 0), 8);
+    }
+    // Both connections dropped cleanly; a fresh one still works.
+    Socket s = rawHandshake(socket());
+    const json::Value stats = rawRequest(s, serve::makeMsg("stats", 1));
+    EXPECT_EQ(stats.at("type").asString(), "stats");
+    EXPECT_EQ(stats.at("connections").asUint(), 3u);
+}
+
+TEST_F(ServeServerTest, OversizedLengthPrefixGetsErrorReply)
+{
+    startServer();
+    Socket s = rawConnect(socket());
+    const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0x7f}; // ~2 GiB
+    ASSERT_EQ(::send(s.fd(), prefix, 4, 0), 4);
+    std::string payload;
+    ASSERT_EQ(recvFrame(s, payload), FrameStatus::Ok);
+    const json::Value reply = json::Value::parse(payload);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "oversized-frame");
+    EXPECT_NE(recvFrame(s, payload), FrameStatus::Ok); // then hangup
+}
+
+TEST_F(ServeServerTest, GarbageJsonAndUnknownTypesAreErrorReplies)
+{
+    startServer();
+    Socket s = rawHandshake(socket());
+
+    ASSERT_TRUE(sendFrame(s, "{this is not json"));
+    std::string payload;
+    ASSERT_EQ(recvFrame(s, payload), FrameStatus::Ok);
+    EXPECT_EQ(json::Value::parse(payload).at("error").asString(),
+              "bad-json");
+
+    json::Value bogus = serve::makeMsg("frobnicate", 9);
+    json::Value reply = rawRequest(s, bogus);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "unknown-type");
+    EXPECT_EQ(reply.at("id").asUint(), 9u);
+
+    // Malformed run request: structured, but not a program.
+    json::Value badRun = serve::makeMsg("run", 10);
+    badRun["program"] = json::Value(1u);
+    badRun["params"] = simParamsToJson(SimParams{});
+    reply = rawRequest(s, badRun);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "bad-request");
+
+    // Version-skewed params document (unknown knob) is caught too.
+    json::Value skewRun = serve::makeMsg("run", 11);
+    skewRun["program"] =
+        serve::programToJson(shardPrograms().front());
+    skewRun["params"] = simParamsToJson(SimParams{});
+    skewRun["params"]["knob_from_the_future"] = 1u;
+    reply = rawRequest(s, skewRun);
+    EXPECT_EQ(reply.at("type").asString(), "error");
+    EXPECT_EQ(reply.at("error").asString(), "bad-request");
+
+    // Connection is still healthy afterwards.
+    reply = rawRequest(s, serve::makeMsg("stats", 12));
+    EXPECT_EQ(reply.at("type").asString(), "stats");
+}
+
+TEST_F(ServeServerTest, RandomBytesFuzzNeverCrashes)
+{
+    startServer();
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull; // fixed seed: deterministic
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int iter = 0; iter < 64; ++iter) {
+        Socket s = rawConnect(socket());
+        ASSERT_TRUE(s.valid());
+        // Some connections handshake first, some spray bytes raw.
+        if (iter % 3 == 0) {
+            json::Value hello = serve::makeMsg("hello", 1);
+            hello["protocol"] = serve::kProtocolVersion;
+            hello["machine"] = serve::machineFingerprint();
+            (void)rawRequest(s, hello);
+        }
+        if (iter % 2 == 0) {
+            // Well-framed garbage payload: the server must answer with
+            // an error frame and keep going.
+            std::string payload(next() % 128, '\0');
+            for (char &c : payload)
+                c = static_cast<char>(next());
+            (void)sendFrame(s, payload);
+            std::string reply;
+            (void)recvFrame(s, reply);
+        } else {
+            // Raw byte spray, framing and all from the RNG. The server
+            // may legitimately block for the rest of a partial frame,
+            // so don't wait for a reply — just hang up (the server then
+            // sees a truncated frame and drops the connection).
+            unsigned char bytes[64];
+            const std::size_t n = 1 + next() % sizeof(bytes);
+            for (std::size_t i = 0; i < n; ++i)
+                bytes[i] = static_cast<unsigned char>(next());
+            (void)::send(s.fd(), bytes, n, 0);
+        }
+    }
+    // The daemon survived and still serves real clients.
+    serve::ServeClient client(socket());
+    EXPECT_EQ(client.stats().at("type").asString(), "stats");
+}
+
+// ---- admission control ------------------------------------------------
+
+TEST_F(ServeServerTest, FullDaemonAnswersOverloaded)
+{
+    startServer(/*maxPending=*/0);
+    Socket s = rawHandshake(socket());
+    json::Value run = serve::makeMsg("run", 21);
+    run["program"] = serve::programToJson(shardPrograms().front());
+    run["params"] = simParamsToJson(SimParams{});
+    const json::Value reply = rawRequest(s, run);
+    EXPECT_EQ(reply.at("type").asString(), "overloaded");
+    EXPECT_EQ(reply.at("id").asUint(), 21u);
+    EXPECT_GE(reply.at("retry_after_ms").asUint(), 1u);
+    EXPECT_EQ(server_->statsJson().at("overloaded").asUint(), 1u);
+}
+
+// ---- end-to-end runs and the ServeClient layer ------------------------
+
+TEST_F(ServeServerTest, ClientRunMatchesLocalSimulation)
+{
+    TempDir cache;
+    startServer(256, cache.path());
+    serve::ServeClient client(socket());
+
+    const Program prog = shardPrograms().front();
+    const SimParams params;
+    const RunOutcome remote = client.run(prog, params);
+    const RunOutcome local = captureRun(prog, params, {});
+    EXPECT_EQ(outcomeDigest(remote), outcomeDigest(local));
+
+    // The identical request again: served from the daemon's memo.
+    const RunOutcome again = client.run(prog, params);
+    EXPECT_EQ(outcomeDigest(again), outcomeDigest(local));
+    const json::Value stats = client.stats();
+    EXPECT_GE(stats.at("coalesced").asUint(), 1u);
+    EXPECT_EQ(stats.at("completed").asUint(), 2u);
+    EXPECT_GT(stats.at("served_uops").asUint(), 0u);
+
+    // The run landed in the shared persistent cache.
+    EXPECT_FALSE(fs::is_empty(cache.path()));
+}
+
+// ---- multi-process cache contention -----------------------------------
+
+/** Forked shard clients write "<digest> <coalesced>" here. */
+int
+shardClientMain(const std::string &socketPath, const std::string &outFile)
+{
+    try {
+        serve::ServeClient client(socketPath);
+        Hasher h;
+        for (const Program &prog : shardPrograms())
+            h.u64(outcomeDigest(client.run(prog, SimParams{})));
+        std::ofstream out(outFile);
+        out << h.digest() << " "
+            << client.stats().at("coalesced").asUint() << "\n";
+        return out ? 0 : 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "shard client failed: %s\n", e.what());
+        return 4;
+    }
+}
+
+TEST_F(ServeServerTest, ForkedClientsShareOneCacheBitIdentically)
+{
+    TempDir cache;
+    startServer(256, cache.path());
+
+    constexpr int kClients = 4;
+    TempDir outDir;
+    std::vector<pid_t> pids;
+    std::vector<std::string> outFiles;
+    for (int i = 0; i < kClients; ++i) {
+        outFiles.push_back(outDir.path() + "/client" +
+                           std::to_string(i));
+        // fork+exec: fork alone is unsafe in this threaded process.
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ::execl("/proc/self/exe", "wisc_serve_tests",
+                    "--serve-shard-client", socket().c_str(),
+                    outFiles.back().c_str(), (char *)nullptr);
+            _exit(127);
+        }
+        pids.push_back(pid);
+    }
+    for (pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "client exited with status " << status;
+    }
+
+    // Every client saw bit-identical outcomes...
+    std::vector<std::uint64_t> digests;
+    for (const std::string &f : outFiles) {
+        std::ifstream in(f);
+        std::uint64_t digest = 0, coalesced = 0;
+        ASSERT_TRUE(in >> digest >> coalesced) << f;
+        digests.push_back(digest);
+    }
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(digests[i], digests[0]);
+
+    // ...identical to a local cache-bypass simulation of the same set.
+    Hasher h;
+    for (const Program &prog : shardPrograms())
+        h.u64(outcomeDigest(captureRun(prog, SimParams{}, {})));
+    EXPECT_EQ(digests[0], h.digest());
+
+    // Cross-client coalescing: 4 clients x 3 programs = 12 requests but
+    // only 3 distinct simulations; /stats must show the joins.
+    const json::Value stats = server_->statsJson();
+    EXPECT_EQ(stats.at("completed").asUint(), 12u);
+    EXPECT_GE(stats.at("coalesced").asUint(), 1u);
+    EXPECT_EQ(stats.at("cache").at("misses").asUint(), 3u);
+    EXPECT_EQ(stats.at("cache").at("corrupt").asUint(), 0u);
+    EXPECT_EQ(stats.at("connections").asUint(),
+              static_cast<std::uint64_t>(kClients));
+
+    // And exactly the three distinct runs were persisted, shared by all.
+    std::size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(cache.path())) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 3u);
+}
+
+} // namespace
+} // namespace wisc
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 4 &&
+        std::string(argv[1]) == "--serve-shard-client")
+        return wisc::shardClientMain(argv[2], argv[3]);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
