@@ -64,6 +64,7 @@ const char *const kMatrix[] = {
     "ablation_heuristics",
     "ablation_loop_bias",
     "predictor_sweep",
+    "dynpred_sweep",
     "sampling_validation",
 };
 
@@ -75,6 +76,7 @@ const char *const kSmoke[] = {
     "fig11_wish_jump_stats",
     "fig13_wish_loop_stats",
     "predictor_sweep",
+    "dynpred_sweep",
     "sampling_validation",
 };
 

@@ -81,6 +81,25 @@ defaultParamsMatrix(bool smoke)
         p.bimodalEntries = 256;
         m.push_back({"bimodal", p});
     }
+    {
+        // Dynamic predication, tuned hot: a small merge table with a
+        // single-confirmation threshold on a tiny low-threshold JRS so
+        // regions trigger constantly, on a small machine so the runtime
+        // region cap and the trigger-deferral path are exercised under
+        // IQ/ROB pressure.
+        SimParams p = fuzzBase();
+        p.dynPred = DynPredMode::MergePoint;
+        p.dynMergeMinConf = 1;
+        p.dynMergeEntries = 64;
+        p.robSize = 64;
+        p.iqSize = 16;
+        p.lsqSize = 32;
+        p.confSets = 16;
+        p.confHistBits = 4;
+        p.confThreshold = 6;
+        p.collectAttribution = true;
+        m.push_back({"dynpred-merge", p});
+    }
     if (!smoke) {
         {
             SimParams p = fuzzBase();
@@ -100,6 +119,23 @@ defaultParamsMatrix(bool smoke)
             p.twoLevelEntries = 1024;
             p.twoLevelHistBits = 6;
             m.push_back({"two-level", p});
+        }
+        {
+            // Merge-point predication colliding with compiler wish
+            // branches and select-µop expansion in the same frontend.
+            SimParams p = fuzzBase();
+            p.dynPred = DynPredMode::MergePoint;
+            p.dynMergeMinConf = 1;
+            p.predMech = PredMechanism::SelectUop;
+            p.collectAttribution = true;
+            m.push_back({"dynpred-merge-select", p});
+        }
+        {
+            SimParams p = fuzzBase();
+            p.dynPred = DynPredMode::FetchGate;
+            p.dynFetchGateCycles = 8;
+            p.collectAttribution = true;
+            m.push_back({"dynpred-fetchgate", p});
         }
     }
     return m;

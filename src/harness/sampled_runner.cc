@@ -55,6 +55,14 @@ runSampled(const Program &prog, const SimParams &params)
                     !params.oracle.noFetch,
                 "sampled simulation requires the C-style predication "
                 "mechanism without the NO-FETCH oracle");
+    // MergePoint dynamic predication is guarded off: the warm-state
+    // checkpoints come from the *functional* fast-forward engine, which
+    // replays no timing and therefore cannot learn the merge-point
+    // table a mid-stream core restore would need (FetchGate is fine —
+    // fetch gating is pure timing with no warm state of its own).
+    wisc_assert(params.dynPred != DynPredMode::MergePoint,
+                "sampled simulation cannot fast-forward the "
+                "merge-point table; use dynPred=Off or FetchGate");
 
     // The window cores and the fast-forward engine must agree on the
     // params fingerprint (the checkpoint guard), so both get the same
@@ -244,10 +252,16 @@ runSampled(const Program &prog, const SimParams &params)
     out.stats["core.cycles"] = out.result.cycles;
     out.stats["core.retired_uops"] = out.result.retiredUops;
 
-    // Per-window CPI spread -> standard error of the CPI estimate.
+    // Per-window CPI spread -> standard error of the CPI estimate. With
+    // fewer than two measurement windows (short program, large period)
+    // there is no spread to divide by: the half-width is *unavailable*,
+    // not zero — a silent 0 here used to read as "perfect confidence"
+    // downstream, so the validity is reported explicitly and the
+    // estimate itself is withheld.
     const std::size_t n = windowCpi.size();
+    const bool seValid = n >= 2;
     double se = 0.0;
-    if (n >= 2) {
+    if (seValid) {
         double var = 0.0;
         for (double c : windowCpi) {
             const double d = c - cpiHat;
@@ -269,8 +283,10 @@ runSampled(const Program &prog, const SimParams &params)
     out.stats["sampling.window_cycles"] = windowCycles;
     out.stats["sampling.cpi_x1e6"] = static_cast<std::uint64_t>(
         std::llround(cpiHat * 1e6));
-    out.stats["sampling.cpi_se_x1e6"] = static_cast<std::uint64_t>(
-        std::llround(se * 1e6));
+    out.stats["sampling.cpi_se_valid"] = seValid ? 1 : 0;
+    if (seValid)
+        out.stats["sampling.cpi_se_x1e6"] = static_cast<std::uint64_t>(
+            std::llround(se * 1e6));
     return out;
 }
 

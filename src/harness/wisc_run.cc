@@ -50,6 +50,8 @@ usage()
         "  --select-uop    use the select-uop predication mechanism\n"
         "  --no-wish       ignore wish hint bits\n"
         "  --no-loop-bias  disable the overestimating loop predictor\n"
+        "  --dyn-pred M    dynamic predication for normal branches:\n"
+        "                  off | merge-point | fetch-gate (default off)\n"
         "  --perfect-cbp / --perfect-conf / --no-depend / --no-fetch\n"
         "                  oracle knobs (Figure 2 / 10 idealizations)\n"
         "\n"
@@ -130,6 +132,17 @@ main(int argc, char **argv)
                 params.wishEnabled = false;
             } else if (a == "--no-loop-bias") {
                 params.wishLoopBias = false;
+            } else if (a == "--dyn-pred") {
+                const std::string m = next(i);
+                if (m == "off")
+                    params.dynPred = DynPredMode::Off;
+                else if (m == "merge-point")
+                    params.dynPred = DynPredMode::MergePoint;
+                else if (m == "fetch-gate")
+                    params.dynPred = DynPredMode::FetchGate;
+                else
+                    wisc_fatal("--dyn-pred wants off | merge-point | "
+                               "fetch-gate, got '", m, "'");
             } else if (a == "--perfect-cbp") {
                 params.oracle.perfectCBP = true;
             } else if (a == "--perfect-conf") {

@@ -44,7 +44,8 @@ Core::Core(const SimParams &params, StatSet &stats)
       ras_(params.rasEntries),
       itc_(params.indirectEntries, params.indirectHistBits, stats),
       conf_(makeConfidenceEstimator(params, stats, *bpred_)),
-      wish_(stats, params.wishLoopBias)
+      wish_(stats, params.wishLoopBias),
+      merge_(params.dynMergeEntries, params.dynMergeTrackUops)
 {
     // The fetch queue models the front-end pipe itself, so it must hold
     // frontEndDelay() stages' worth of fetched µops plus a small decode
@@ -52,6 +53,42 @@ Core::Core(const SimParams &params, StatSet &stats)
     // pipe latency.
     fetchQueueCap_ = params.frontEndDelay() * params.fetchWidth +
                      2 * params.fetchWidth;
+
+    // A dynamically predicated region must be able to rename fully into
+    // the scheduler: the trigger cannot complete (and thus nothing past
+    // it can retire) until the region finishes fetching, so trigger +
+    // region must fit in the IQ and the ROB with room to spare.
+    dynRegionCap_ = params.dynMaxRegionUops;
+    dynRegionCap_ = std::min(
+        dynRegionCap_, params.iqSize > 2 ? params.iqSize - 2 : 1u);
+    dynRegionCap_ = std::min(
+        dynRegionCap_, params.robSize > 2 ? params.robSize / 2 : 1u);
+
+    if (params.dynPred != DynPredMode::Off) {
+        dynTriggers_ = &stats.counter(
+            "dyn.triggers", "low-confidence branches converted to "
+                            "dynamically predicated regions");
+        dynRegionUops_ = &stats.counter(
+            "dyn.region_uops", "µops fetched inside dynamically "
+                               "predicated regions");
+        dynNullifiedUops_ = &stats.counter(
+            "dyn.nullified_uops", "region µops off the real path "
+                                  "(retired as predicated NOPs)");
+        dynSuccess_ = &stats.counter(
+            "dyn.region_success", "regions whose real control flow "
+                                  "reconverged at the predicted merge "
+                                  "point");
+        dynFailed_ = &stats.counter(
+            "dyn.region_failed", "regions that missed the merge point "
+                                 "and flushed like a misprediction");
+        dynSavedFlushes_ = &stats.counter(
+            "dyn.saved_flushes", "successful regions whose trigger was "
+                                 "mispredicted (a flush predication "
+                                 "avoided)");
+        dynFetchGates_ = &stats.counter(
+            "dyn.fetch_gates", "fetch stalls injected on "
+                               "low-confidence branches (FetchGate)");
+    }
 
     cCycles_ = &stats.counter("core.cycles", "simulated cycles");
     cRetired_ = &stats.counter("core.retired_uops", "retired µops");
@@ -128,7 +165,9 @@ Core::emitRetire(const DynInst &di)
     p.isCondBr = si.op == Opcode::Br;
     p.mispredicted = di.mispredicted;
     p.confValid =
-        p.isCondBr && params_.wishEnabled && si.wish != WishKind::None;
+        p.isCondBr &&
+        ((params_.wishEnabled && si.wish != WishKind::None) ||
+         (params_.dynPred != DynPredMode::Off && !di.dynRegion));
     p.highConf = di.highConf;
     p.wishKind = si.wish;
     for (unsigned i = 0; i < nsinks_; ++i)
@@ -260,6 +299,45 @@ Core::computeDeps(DynInst &di)
 
     const bool writesReg = di.writesReg();
     const bool writesPred = di.writesPred();
+
+    if (di.dynRegion) {
+        // Dynamically predicated region µop: the trigger branch stands
+        // in for a qualifying predicate over the whole region, so every
+        // region µop — on or off the real path — carries a
+        // predication-induced dependence on it plus the baseline
+        // C-style shape with a *forced* old-destination dependence
+        // (until the trigger resolves, the hardware cannot know which
+        // side of the hammock is real). If the trigger already retired
+        // (it resolved while these µops sat in the fetch queue), the
+        // producer lookup sees it as done, exactly like any retired
+        // producer.
+        dep(dynTriggerSeq_, true);
+        if (di.isCondBr()) {
+            depPred(si.qp);
+            return; // predicated branch: resolves but never redirects
+        }
+        if (si.op == Opcode::Jmp || si.op == Opcode::Nop)
+            return;
+        if (di.readsRs1())
+            depReg(si.rs1);
+        if (di.readsRs2())
+            depReg(si.rs2);
+        depPred(si.qp, true);
+        if (writesReg)
+            depReg(si.rd, true); // old destination value, always
+        if (writesPred && !si.unc) {
+            depPred(si.pd, true);
+            depPred(si.pd2, true);
+        }
+        if (si.op == Opcode::PNot || si.op == Opcode::PAnd ||
+            si.op == Opcode::POr) {
+            depPred(si.ps);
+            if (si.op != Opcode::PNot)
+                depPred(si.ps2);
+        }
+        claimProducers(di);
+        return;
+    }
 
     if (di.selectPart == 2) {
         // Select half: depends on the compute half (previous seq), the
@@ -552,7 +630,25 @@ Core::fetchOne(std::uint32_t idx)
     di.pre = pre_[idx].flags;
     di.exLat = pre_[idx].exLat;
     di.undoStart = undo_.mark();
-    di.step = executeInst(*di.inst, idx, codeSize_, state_, &undo_);
+    if (dynActive_) {
+        // Dynamically predicated region: fetch runs linearly to the
+        // merge point; only the µop the real control flow is at
+        // executes, the rest are nullified (predicated-FALSE NOPs).
+        di.dynRegion = true;
+        if (idx == dynRealPc_) {
+            di.step =
+                executeInst(*di.inst, idx, codeSize_, state_, &undo_);
+            dynRealPc_ = di.step.nextIndex;
+        } else {
+            di.dynNullified = true;
+            di.step.qpTrue = false;
+            di.step.nextIndex = idx + 1;
+            ++*dynNullifiedUops_;
+        }
+        ++*dynRegionUops_;
+    } else {
+        di.step = executeInst(*di.inst, idx, codeSize_, state_, &undo_);
+    }
     di.undoEnd = undo_.mark();
     di.renameReady = now_ + params_.frontEndDelay();
     di.memAddr = di.step.memAddr;
@@ -560,8 +656,10 @@ Core::fetchOne(std::uint32_t idx)
     di.memSkipped = di.isMemOp() && !di.step.qpTrue;
 
     // Predicate-prediction capture and buffer maintenance (decode-side
-    // structures, §3.5.3), strictly in fetch order.
-    if (params_.wishEnabled && di.inst->qp != 0) {
+    // structures, §3.5.3), strictly in fetch order. Region µops skip
+    // the capture: their dependence shape is fixed by the region
+    // (guarded by the trigger), not by the §3.5.3 buffer.
+    if (params_.wishEnabled && di.inst->qp != 0 && !di.dynRegion) {
         auto v = wish_.predictedPredicate(di.inst->qp);
         if (v) {
             di.hasPredQp = true;
@@ -575,10 +673,18 @@ Core::fetchOne(std::uint32_t idx)
         wish_.notePredWrite(di.inst->pd2);
     }
 
-    if (di.isCtrl())
-        processControl(di);
-    else
+    if (di.dynRegion) {
+        // Linear region fetch: control µops inside the region neither
+        // redirect nor predict — they are predicated like everything
+        // else and resolve against the trigger.
         fetchPc_ = idx + 1;
+        if (fetchPc_ >= dynRegionEnd_)
+            dynEndRegion();
+    } else if (di.isCtrl()) {
+        processControl(di);
+    } else {
+        fetchPc_ = idx + 1;
+    }
 
     if (di.step.halted)
         fetchHalted_ = true;
@@ -586,6 +692,60 @@ Core::fetchOne(std::uint32_t idx)
     ++*cFetched_;
     if (nsinks_)
         emitFetch(di, now_);
+}
+
+/**
+ * May the low-confidence normal branch at 'idx' open a dynamically
+ * predicated region ending at 'merge'? Structural conditions only —
+ * confidence and the merge-table prediction were already consulted.
+ */
+bool
+Core::dynCanTrigger(std::uint32_t idx, std::uint32_t merge) const
+{
+    if (dynActive_ || dynOutstandingUid_ != 0)
+        return false; // one region in flight at a time
+    if (wish_.mode() != FrontEndMode::Normal)
+        return false; // never nest into a wish-branch region
+    if (merge <= idx + 1 || merge >= codeSize_)
+        return false;
+    if (merge - idx - 1 > dynRegionCap_)
+        return false;
+    // The region must be predicable: calls, returns, indirect jumps and
+    // halts cannot be nullified (they move non-speculative state or end
+    // the program), so their presence vetoes the trigger.
+    for (std::uint32_t i = idx + 1; i < merge; ++i) {
+        const Opcode op = code_[i].op;
+        if (op == Opcode::Call || op == Opcode::Ret ||
+            op == Opcode::JmpR || op == Opcode::Halt)
+            return false;
+    }
+    return true;
+}
+
+/** Region fetch reached the merge point: stamp the outcome on the
+ *  trigger (still in flight — only an older branch's flush could have
+ *  removed it, and that resets dynActive_) and resume normal fetch. */
+void
+Core::dynEndRegion()
+{
+    const bool success = dynRealPc_ == dynRegionEnd_;
+    DynInst *t = nullptr;
+    for (std::size_t i = rob_.size(); i-- > 0;) {
+        if (rob_[i].uid == dynOutstandingUid_) {
+            t = &rob_[i];
+            break;
+        }
+    }
+    if (!t)
+        for (std::size_t i = 0; i < fetchQueue_.size(); ++i)
+            if (fetchQueue_[i].uid == dynOutstandingUid_) {
+                t = &fetchQueue_[i];
+                break;
+            }
+    wisc_assert(t, "dynamic-predication trigger vanished mid-region");
+    t->dynOutcomeKnown = true;
+    t->dynPredFailed = !success;
+    dynActive_ = false;
 }
 
 void
@@ -620,6 +780,43 @@ Core::processControl(DynInst &di)
         } else {
             effective = predictorTaken;
             di.fetchMode = FrontEndMode::Normal;
+            if (params_.dynPred != DynPredMode::Off) {
+                // Dynamic predication: the hardware counterpart of a
+                // wish branch for compiler-unmarked branches. Estimate
+                // confidence exactly like the wish path would.
+                const bool highConf =
+                    oracle.perfectConfidence
+                        ? (predictorTaken == di.step.taken)
+                        : estimateConfidence(idx,
+                                             di.ckpt.globalHistory);
+                di.highConf = highConf;
+                if (!highConf &&
+                    params_.dynPred == DynPredMode::FetchGate) {
+                    // Cheap fallback: throttle fetch for a few cycles
+                    // instead of predicating, shrinking the wrong-path
+                    // exposure of a likely misprediction.
+                    fetchStallUntil_ = std::max(
+                        fetchStallUntil_,
+                        now_ + params_.dynFetchGateCycles);
+                    ++*dynFetchGates_;
+                } else if (!highConf) {
+                    auto merge =
+                        merge_.predict(idx, params_.dynMergeMinConf);
+                    if (merge && dynCanTrigger(idx, *merge)) {
+                        // Open the region: force fall-through and
+                        // predicate everything up to the merge point
+                        // on this branch.
+                        di.dynPredTrigger = true;
+                        effective = false;
+                        dynActive_ = true;
+                        dynRegionEnd_ = *merge;
+                        dynRealPc_ = di.step.nextIndex;
+                        dynOutstandingUid_ = di.uid;
+                        dynTriggerSeq_ = 0;
+                        ++*dynTriggers_;
+                    }
+                }
+            }
         }
 
         di.predictorTaken = predictorTaken;
@@ -685,7 +882,12 @@ Core::processControl(DynInst &di)
 void
 Core::stageFetch()
 {
-    if (fetchFrozen_ || fetchHalted_ || now_ < fetchStallUntil_)
+    // A freeze (drain toward a checkpoint boundary) must not interrupt
+    // an open dynamically predicated region: the trigger cannot
+    // complete until the region finishes fetching, so freezing
+    // mid-region would deadlock the drain.
+    if ((fetchFrozen_ && !dynActive_) || fetchHalted_ ||
+        now_ < fetchStallUntil_)
         return;
     if (fetchQueue_.size() >= fetchQueueCap_)
         return;
@@ -769,7 +971,8 @@ Core::stageRename()
             params_.predMech == PredMechanism::SelectUop &&
             (front.pre & kPreSelectShape) &&
             !params_.oracle.noDepend &&
-            !front.hasPredQp;
+            !front.hasPredQp &&
+            !front.dynRegion;
         const unsigned need = expand ? 2 : 1;
 
         if (rob_.size() + need > params_.robSize ||
@@ -821,6 +1024,10 @@ Core::stageRename()
         di = front;
         fetchQueue_.pop_front();
         di.seq = nextSeq_++;
+        // Region µops rename strictly after their trigger (in order),
+        // so the trigger's seq is known by the time they need it.
+        if (dynOutstandingUid_ != 0 && di.uid == dynOutstandingUid_)
+            dynTriggerSeq_ = di.seq;
         computeDeps(di);
         di.inIQ = true;
         ++iqCount_;
@@ -981,6 +1188,16 @@ Core::stageComplete()
         DynInst *di = findInst(ev.seq);
         if (!di || di->uid != ev.uid || !di->issued || di->completed)
             continue; // squashed (or stale event for a reused seq)
+        if (di->dynPredTrigger && dynActive_ &&
+            di->uid == dynOutstandingUid_) {
+            // The trigger's outcome is unknown until region fetch
+            // reaches the merge point: defer its completion (the
+            // modeled hardware resolves the trigger at
+            // max(execute, region-fetch-end)). The region-size cap
+            // guarantees the region always finishes fetching.
+            events_.push({now_ + 1, ev.seq, ev.uid});
+            continue;
+        }
         di->completed = true;
         di->completeCycle = ev.cycle;
         di->inIQ = false;
@@ -990,7 +1207,7 @@ Core::stageComplete()
 
         wakeConsumers(*di);
 
-        if (di->isCtrl())
+        if (di->isCtrl() && !di->dynRegion)
             resolveBranch(*di);
 
         // A flush inside resolveBranch squashed younger µops and purged
@@ -1018,6 +1235,28 @@ Core::resolveBranch(DynInst &di)
     // Conditional branch.
     const bool actual = di.step.taken;
     di.mispredicted = di.predictorTaken != actual;
+
+    if (di.dynPredTrigger) {
+        // Dynamic-predication trigger: the region outcome — stamped by
+        // dynEndRegion() before the deferred completion could fire —
+        // decides between "predication worked, no flush" and "the real
+        // path never reconverged, flush like a plain misprediction".
+        wisc_assert(di.dynOutcomeKnown,
+                    "trigger resolved before its region ended");
+        merge_.noteOutcome(di.pc, di.dynPredFailed, di.mispredicted);
+        if (di.uid == dynOutstandingUid_)
+            dynOutstandingUid_ = 0;
+        if (di.dynPredFailed) {
+            ++*dynFailed_;
+            flushAfter(di, di.step.nextIndex, true, FlushCause::Normal);
+        } else {
+            ++*dynSuccess_;
+            if (di.mispredicted)
+                ++*dynSavedFlushes_;
+        }
+        return;
+    }
+
     const bool effectiveWrong = di.predictedTaken != actual;
     if (!effectiveWrong) {
         if (si.wish == WishKind::Loop &&
@@ -1129,6 +1368,20 @@ Core::flushAfter(const DynInst &branch, std::uint32_t redirectPc,
     ras_.restore(branch.rasCkpt);
     wish_.onFlush();
 
+    // Dynamic predication: while a region is open every possible flush
+    // source is older than the trigger (region µops never flush and
+    // younger µops do not exist yet), so the trigger was just squashed.
+    // After the region ended the trigger survives flushes from younger
+    // branches; uids are fetch-ordered, so the comparison decides.
+    if (dynOutstandingUid_ != 0) {
+        wisc_assert(!dynActive_ || branch.uid < dynOutstandingUid_,
+                    "flush from inside an open dynamic region");
+        if (branch.uid < dynOutstandingUid_) {
+            dynOutstandingUid_ = 0;
+            dynActive_ = false;
+        }
+    }
+
     fetchPc_ = redirectPc;
     fetchHalted_ = false;
     fetchStallUntil_ = now_ + 1;
@@ -1152,7 +1405,7 @@ Core::stageRetire()
 
         const Instruction &si = *di.inst;
 
-        if (si.op == Opcode::Br) {
+        if (si.op == Opcode::Br && !di.dynRegion) {
             ++*cCondBranches_;
             bpred_->train(di.pc, di.step.taken, di.ckpt);
             if (di.mispredicted)
@@ -1161,6 +1414,12 @@ Core::stageRetire()
                 updateConfidence(di.pc, di.ckpt.globalHistory,
                                  !di.mispredicted);
                 retireWishStats(di);
+            } else if (params_.dynPred != DynPredMode::Off) {
+                // Both dynamic modes gate on the same estimator, so it
+                // trains on every normal branch, with the same
+                // fetch-time history the estimate used.
+                updateConfidence(di.pc, di.ckpt.globalHistory,
+                                 !di.mispredicted);
             }
         } else if (si.op == Opcode::JmpR) {
             itc_.update(di.pc, di.ckpt.globalHistory,
@@ -1170,6 +1429,14 @@ Core::stageRetire()
         } else if (si.op == Opcode::Ret && di.mispredicted) {
             ++*cMispredicts_;
         }
+
+        // Merge-point learning from the retired control flow. Region
+        // µops are excluded: their retired pc stream is linear by
+        // construction and would teach the table that every branch
+        // "reconverges" at the next pc.
+        if (params_.dynPred == DynPredMode::MergePoint && !di.dynRegion)
+            merge_.onRetire(di.pc, di.step.nextIndex, di.isCondBr(),
+                            si.target);
 
         if (di.isStoreOp() && !di.memSkipped) {
             if (di.selectPart != 1)
@@ -1308,6 +1575,12 @@ Core::beginRun(const Program &prog)
         missHeap_.pop();
     storeSeqs_.clear();
     storesByWord_.clear();
+    dynActive_ = false;
+    dynRegionEnd_ = 0;
+    dynRealPc_ = 0;
+    dynOutstandingUid_ = 0;
+    dynTriggerSeq_ = 0;
+    merge_.reset();
 
     // Warm the instruction image: our kernels fit comfortably in the
     // 64 KB L1I, so a cold-start I-cache would only add noise.
@@ -1358,6 +1631,12 @@ Core::beginRun(const Program &prog, const CoreCheckpoint &ckpt)
         wish_.restoreState(r);
     else
         wish_.reset(); // checkpoint carries no engine state: cold-start
+    // The merge table is serialized only in MergePoint mode; the params
+    // fingerprint guard above makes save and restore symmetric. The
+    // functional fast-forward engine never writes it — runSampled
+    // requires dynPred == Off, and its checkpoints assert that.
+    if (params_.dynPred == DynPredMode::MergePoint)
+        merge_.restoreState(r);
     if (ckpt.hasAttribShadow) {
         wisc_assert(attrib_,
                     "checkpoint carries attribution shadow state but "
@@ -1425,6 +1704,8 @@ Core::checkpoint(CoreCheckpoint &out) const
     ras_.saveState(w);
     itc_.saveState(w);
     wish_.saveState(w);
+    if (params_.dynPred == DynPredMode::MergePoint)
+        merge_.saveState(w);
     out.hasWish = true;
     out.hasAttribShadow = attrib_.has_value();
     if (attrib_)

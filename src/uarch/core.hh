@@ -49,6 +49,7 @@
 #include "uarch/bpred_iface.hh"
 #include "uarch/cache.hh"
 #include "uarch/checkpoint.hh"
+#include "uarch/mergepoint.hh"
 #include "uarch/params.hh"
 #include "uarch/probe.hh"
 #include "uarch/wish.hh"
@@ -108,6 +109,21 @@ struct DynInst
 
     // Select-µop expansion: 1 = compute half, 2 = select half.
     std::uint8_t selectPart = 0;
+
+    // Dynamic predication (DynPredMode::MergePoint).
+    /** Low-confidence normal branch that opened a dynamically
+     *  predicated region (the hardware analog of a wish jump). */
+    bool dynPredTrigger = false;
+    /** Fetched inside a dynamically predicated region: guarded by the
+     *  trigger, never redirects fetch, never flushes. */
+    bool dynRegion = false;
+    /** Region µop off the real path: retires as a predicated NOP. */
+    bool dynNullified = false;
+    /** Region fetch reached the merge point; dynPredFailed is valid. */
+    bool dynOutcomeKnown = false;
+    /** Real control flow never reconverged at the predicted merge
+     *  point: the trigger must flush like a plain misprediction. */
+    bool dynPredFailed = false;
 
     // Predicate prediction captured at fetch (§3.5.3 buffer hit).
     bool hasPredQp = false;
@@ -308,6 +324,7 @@ class Core
     IndirectTargetCache itc_;
     std::unique_ptr<IConfidence> conf_;
     WishEngine wish_;
+    MergePointTable merge_;
 
     bool estimateConfidence(std::uint32_t pc, std::uint64_t hist) const;
     void updateConfidence(std::uint32_t pc, std::uint64_t hist,
@@ -328,6 +345,31 @@ class Core
         std::uint8_t exLat = 1;
     };
     std::vector<PreDecode> pre_;
+
+    // Dynamic predication (SimParams::dynPred). While a region is being
+    // fetched (dynActive_) the frontend runs linearly from the trigger's
+    // fall-through to dynRegionEnd_, executing only the µop the real
+    // control flow is at (dynRealPc_) and nullifying the rest. The
+    // trigger's completion is deferred until the region fetch ends, so
+    // its resolution — flush on reconvergence failure, nothing on
+    // success — sees the region outcome.
+    bool dynActive_ = false;
+    std::uint32_t dynRegionEnd_ = 0;
+    std::uint32_t dynRealPc_ = 0;
+    /** uid of the in-flight trigger, 0 = none. Only one region may be
+     *  outstanding (trigger fetched but not yet resolved/squashed). */
+    std::uint64_t dynOutstandingUid_ = 0;
+    /** The trigger's seq once renamed: region µops depend on it (the
+     *  trigger predicate guards the whole region). */
+    SeqNum dynTriggerSeq_ = 0;
+    /** Runtime region-size cap: user knob clamped so an in-flight
+     *  region can always rename fully into the scheduler (the trigger
+     *  cannot complete before the region finishes fetching, so a region
+     *  larger than the IQ would wedge the machine). */
+    unsigned dynRegionCap_ = 0;
+
+    bool dynCanTrigger(std::uint32_t idx, std::uint32_t merge) const;
+    void dynEndRegion();
 
     // Front end.
     std::uint32_t fetchPc_ = 0;
@@ -429,6 +471,15 @@ class Core
      *  unchanged: a counter still appears only once its event occurs. */
     Counter *wishOutcome_[3][2][5] = {};
     Counter &wishOutcomeCounter(WishKind kind, bool low, unsigned slot);
+    /** Dynamic-predication counters, registered only when
+     *  params.dynPred != Off so the default stat set is unchanged. */
+    Counter *dynTriggers_ = nullptr;
+    Counter *dynRegionUops_ = nullptr;
+    Counter *dynNullifiedUops_ = nullptr;
+    Counter *dynSuccess_ = nullptr;
+    Counter *dynFailed_ = nullptr;
+    Counter *dynSavedFlushes_ = nullptr;
+    Counter *dynFetchGates_ = nullptr;
 };
 
 /** Convenience: simulate a program with the given configuration. */

@@ -31,7 +31,7 @@ SimParams::fingerprint() const
     static_assert(sizeof(OracleKnobs) == 4,
                   "OracleKnobs changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
-    static_assert(sizeof(SimParams) == 328,
+    static_assert(sizeof(SimParams) == 344,
                   "SimParams changed: extend SimParams::fingerprint() "
                   "and the field-perturbation test");
 
@@ -104,6 +104,13 @@ SimParams::fingerprint() const
     h.u8(static_cast<std::uint8_t>(predMech));
     h.b(wishEnabled);
     h.b(wishLoopBias);
+
+    h.u8(static_cast<std::uint8_t>(dynPred));
+    h.u32(dynFetchGateCycles);
+    h.u32(dynMergeEntries);
+    h.u32(dynMergeMinConf);
+    h.u32(dynMaxRegionUops);
+    h.u32(dynMergeTrackUops);
 
     h.b(oracle.noDepend);
     h.b(oracle.noFetch);

@@ -51,6 +51,22 @@ enum class PredMechanism : std::uint8_t
     SelectUop, ///< compute µop + select µop (Wang et al.)
 };
 
+/**
+ * Hardware-only adaptive predication for *normal* branches — the
+ * compiler never marked them, the frontend decides alone
+ * (DESIGN.md: dynamic predication).
+ */
+enum class DynPredMode : std::uint8_t
+{
+    Off,        ///< baseline: only compiler wish branches adapt
+    MergePoint, ///< predicate low-confidence branches up to a merge
+                ///< point learned in hardware (Dynamic Merge Point
+                ///< Prediction, Pruett & Patt)
+    FetchGate,  ///< stall fetch for a fixed penalty on low-confidence
+                ///< branches instead of predicating (Variable
+                ///< Instruction Fetch Rate)
+};
+
 /** Idealization switches used by the Figure 2/10/12 experiments. */
 struct OracleKnobs
 {
@@ -184,6 +200,32 @@ struct SimParams
      *  count, making late exits (no flush) more common than early exits
      *  (flush). Disable to use the plain hybrid predictor alone. */
     bool wishLoopBias = true;
+
+    /**
+     * Dynamic predication for normal branches. Off is bit-identical to
+     * the historical machine (no confidence estimates or updates for
+     * normal branches, no merge-point table). MergePoint fetches a
+     * low-confidence branch's hammock linearly up to the merge point
+     * predicted by the hardware merge-point table (uarch/mergepoint.hh),
+     * nullifying the not-taken-path µops; FetchGate stalls fetch for
+     * dynFetchGateCycles instead. Sampled simulation requires Off (the
+     * warm-state replica does not replay region decisions).
+     */
+    DynPredMode dynPred = DynPredMode::Off;
+    /** FetchGate: cycles fetch stalls after a low-confidence branch. */
+    unsigned dynFetchGateCycles = 6;
+    /** Merge-point table entries (direct-mapped, pow2). */
+    unsigned dynMergeEntries = 512;
+    /** Confirmations (retired path reached the predicted merge point
+     *  with no farther jump) required before an entry may trigger. */
+    unsigned dynMergeMinConf = 2;
+    /** Hard cap on a dynamically predicated region, in static
+     *  instructions (also bounded by machine capacity at run time so a
+     *  region can never wedge fetch against a full window). */
+    unsigned dynMaxRegionUops = 48;
+    /** Retired µops the table keeps watching past a branch for the
+     *  reconvergence point before giving up. */
+    unsigned dynMergeTrackUops = 96;
 
     OracleKnobs oracle;
 

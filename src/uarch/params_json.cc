@@ -34,6 +34,12 @@ constexpr EnumName kPredMechNames[] = {
     {static_cast<std::uint8_t>(PredMechanism::SelectUop), "SelectUop"},
 };
 
+constexpr EnumName kDynPredNames[] = {
+    {static_cast<std::uint8_t>(DynPredMode::Off), "Off"},
+    {static_cast<std::uint8_t>(DynPredMode::MergePoint), "MergePoint"},
+    {static_cast<std::uint8_t>(DynPredMode::FetchGate), "FetchGate"},
+};
+
 template <std::size_t N>
 const char *
 enumName(const EnumName (&table)[N], std::uint8_t v)
@@ -155,7 +161,7 @@ simParamsToJson(const SimParams &p)
     static_assert(sizeof(OracleKnobs) == 4,
                   "OracleKnobs changed: extend simParamsToJson/FromJson "
                   "and the JSON round-trip test");
-    static_assert(sizeof(SimParams) == 328,
+    static_assert(sizeof(SimParams) == 344,
                   "SimParams changed: extend simParamsToJson/FromJson "
                   "and the JSON round-trip test");
 
@@ -230,6 +236,14 @@ simParamsToJson(const SimParams &p)
         enumName(kPredMechNames, static_cast<std::uint8_t>(p.predMech));
     v["wishEnabled"] = p.wishEnabled;
     v["wishLoopBias"] = p.wishLoopBias;
+
+    v["dynPred"] =
+        enumName(kDynPredNames, static_cast<std::uint8_t>(p.dynPred));
+    v["dynFetchGateCycles"] = p.dynFetchGateCycles;
+    v["dynMergeEntries"] = p.dynMergeEntries;
+    v["dynMergeMinConf"] = p.dynMergeMinConf;
+    v["dynMaxRegionUops"] = p.dynMaxRegionUops;
+    v["dynMergeTrackUops"] = p.dynMergeTrackUops;
 
     json::Value oracle = json::Value::object();
     oracle["noDepend"] = p.oracle.noDepend;
@@ -330,6 +344,14 @@ simParamsFromJson(const json::Value &v)
         enumValue(kPredMechNames, r.str("predMech"), "predMech"));
     p.wishEnabled = r.b("wishEnabled");
     p.wishLoopBias = r.b("wishLoopBias");
+
+    p.dynPred = static_cast<DynPredMode>(
+        enumValue(kDynPredNames, r.str("dynPred"), "dynPred"));
+    p.dynFetchGateCycles = r.u("dynFetchGateCycles");
+    p.dynMergeEntries = r.u("dynMergeEntries");
+    p.dynMergeMinConf = r.u("dynMergeMinConf");
+    p.dynMaxRegionUops = r.u("dynMaxRegionUops");
+    p.dynMergeTrackUops = r.u("dynMergeTrackUops");
 
     {
         ObjReader ro(r.take("oracle"), "oracle");

@@ -78,8 +78,10 @@ struct RetireProbe
     bool predFalse = false;    ///< retired as a predicated-FALSE NOP
     bool isCondBr = false;     ///< a retired conditional branch
     bool mispredicted = false; ///< raw predictor direction was wrong
-    /** Confidence fields are valid only for wish branches (the only
-     *  branches the hardware runs through a confidence estimator). */
+    /** Confidence fields are valid for wish branches and, when dynamic
+     *  predication is on (SimParams::dynPred != Off), for normal
+     *  conditional branches outside hardware-predicated regions — the
+     *  branches the hardware runs through a confidence estimator. */
     bool confValid = false;
     bool highConf = false;
     WishKind wishKind = WishKind::None;

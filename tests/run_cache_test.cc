@@ -237,6 +237,16 @@ TEST(FingerprintTest, EverySimParamsFieldPerturbsTheHash)
          [](SimParams &p) { p.wishEnabled = !p.wishEnabled; }},
         {"wishLoopBias",
          [](SimParams &p) { p.wishLoopBias = !p.wishLoopBias; }},
+        {"dynPred",
+         [](SimParams &p) { p.dynPred = DynPredMode::MergePoint; }},
+        {"dynFetchGateCycles",
+         [](SimParams &p) { ++p.dynFetchGateCycles; }},
+        {"dynMergeEntries", [](SimParams &p) { ++p.dynMergeEntries; }},
+        {"dynMergeMinConf", [](SimParams &p) { ++p.dynMergeMinConf; }},
+        {"dynMaxRegionUops",
+         [](SimParams &p) { ++p.dynMaxRegionUops; }},
+        {"dynMergeTrackUops",
+         [](SimParams &p) { ++p.dynMergeTrackUops; }},
         {"oracle.noDepend",
          [](SimParams &p) { p.oracle.noDepend = true; }},
         {"oracle.noFetch", [](SimParams &p) { p.oracle.noFetch = true; }},

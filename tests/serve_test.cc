@@ -216,12 +216,18 @@ TEST(ServeWireTest, SimParamsRoundTripPreservesFingerprint)
     p.il1.sizeBytes = 32 * 1024;
     p.sampling.enabled = true;
     p.sampling.measureUops = 12345;
+    p.dynPred = DynPredMode::MergePoint;
+    p.dynMergeMinConf = 5;
+    p.dynFetchGateCycles = 11;
     const SimParams q =
         simParamsFromJson(json::Value::parse(simParamsToJson(p).dump(2)));
     EXPECT_EQ(q.fingerprint(), p.fingerprint());
     EXPECT_EQ(q.robSize, 64u);
     EXPECT_EQ(q.predictor, PredictorKind::Tage);
     EXPECT_TRUE(q.sampling.enabled);
+    EXPECT_EQ(q.dynPred, DynPredMode::MergePoint);
+    EXPECT_EQ(q.dynMergeMinConf, 5u);
+    EXPECT_EQ(q.dynFetchGateCycles, 11u);
 }
 
 TEST(ServeWireTest, SimParamsDecodeIsStrictBothWays)
